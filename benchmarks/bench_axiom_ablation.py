@@ -1,0 +1,91 @@
+"""E19 — Axiom ablation: which axiom of SI excludes which anomaly?
+
+Section 2's narrative, made into a table: starting from SI's axiom set
+{INT, EXT, SESSION, PREFIX, NOCONFLICT}, drop one axiom at a time and
+re-decide the Figure 2 anomalies by direct execution search.  Expected:
+
+* dropping **PREFIX** admits the long fork (that is parallel SI modulo
+  TRANSVIS);
+* dropping **NOCONFLICT** admits the lost update (no write-conflict
+  detection — "generalised prefix consistency");
+* write skew stays allowed under SI and every weakening;
+* adding **TOTALVIS** (serializability) excludes write skew.
+"""
+
+import pytest
+
+from repro.anomalies import ALL_CASES
+from repro.characterisation.exec_search import find_execution_for_axioms
+from repro.core.axioms import (
+    EXT,
+    INT,
+    NOCONFLICT,
+    PREFIX,
+    SESSION,
+    TOTALVIS,
+)
+
+from helpers import bool_mark, print_table
+
+SI_AXIOMS = (INT, EXT, SESSION, PREFIX, NOCONFLICT)
+
+ABLATIONS = {
+    "SI (all)": SI_AXIOMS,
+    "SI - PREFIX": (INT, EXT, SESSION, NOCONFLICT),
+    "SI - NOCONFLICT": (INT, EXT, SESSION, PREFIX),
+    "SI - SESSION": (INT, EXT, PREFIX, NOCONFLICT),
+    "SI + TOTALVIS (SER)": (INT, EXT, SESSION, PREFIX, NOCONFLICT, TOTALVIS),
+}
+
+ANOMALIES = ["lost_update", "long_fork", "write_skew"]
+
+EXPECTED = {
+    ("SI (all)", "lost_update"): False,
+    ("SI (all)", "long_fork"): False,
+    ("SI (all)", "write_skew"): True,
+    ("SI - PREFIX", "lost_update"): False,
+    ("SI - PREFIX", "long_fork"): True,
+    ("SI - PREFIX", "write_skew"): True,
+    ("SI - NOCONFLICT", "lost_update"): True,
+    ("SI - NOCONFLICT", "long_fork"): False,
+    ("SI - NOCONFLICT", "write_skew"): True,
+    ("SI - SESSION", "lost_update"): False,
+    ("SI - SESSION", "long_fork"): False,
+    ("SI - SESSION", "write_skew"): True,
+    ("SI + TOTALVIS (SER)", "lost_update"): False,
+    ("SI + TOTALVIS (SER)", "long_fork"): False,
+    ("SI + TOTALVIS (SER)", "write_skew"): False,
+}
+
+
+def allowed(ablation_name: str, anomaly: str) -> bool:
+    case = ALL_CASES[anomaly]()
+    axioms = ABLATIONS[ablation_name]
+    x = find_execution_for_axioms(
+        case.history, axioms, init_tid=case.init_tid
+    )
+    return x is not None
+
+
+@pytest.mark.parametrize("anomaly", ANOMALIES)
+def test_bench_ablation_search(benchmark, anomaly):
+    result = benchmark(lambda: allowed("SI (all)", anomaly))
+    assert result == EXPECTED[("SI (all)", anomaly)]
+
+
+def test_ablation_report():
+    rows = []
+    for ablation_name in ABLATIONS:
+        row = [ablation_name]
+        for anomaly in ANOMALIES:
+            got = allowed(ablation_name, anomaly)
+            assert got == EXPECTED[(ablation_name, anomaly)], (
+                ablation_name, anomaly,
+            )
+            row.append(bool_mark(got))
+        rows.append(tuple(row))
+    print_table(
+        "Axiom ablation: which anomalies does each axiom set admit?",
+        ["axiom set", *ANOMALIES],
+        rows,
+    )

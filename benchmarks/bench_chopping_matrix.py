@@ -1,0 +1,72 @@
+"""E11 — Appendix B: the chopping-correctness matrix P1–P4 × {SER,SI,PSI}.
+
+The permissiveness ordering of the three criteria with its strict
+separations:
+
+* P1 (Fig 5):  incorrect everywhere;
+* P2 (Fig 6):  correct everywhere;
+* P3 (Fig 11): correct under SI and PSI, not SER;
+* P4 (Fig 12): correct under PSI only.
+"""
+
+import pytest
+
+from repro.chopping import (
+    chopping_matrix,
+    p1_programs,
+    p2_programs,
+    p3_programs,
+    p4_programs,
+)
+
+from helpers import bool_mark, print_table
+
+EXPECTED = {
+    "P1": {"SER": False, "SI": False, "PSI": False},
+    "P2": {"SER": True, "SI": True, "PSI": True},
+    "P3": {"SER": False, "SI": True, "PSI": True},
+    "P4": {"SER": False, "SI": False, "PSI": True},
+}
+
+
+def all_choppings():
+    return {
+        "P1": p1_programs(),
+        "P2": p2_programs(),
+        "P3": p3_programs(),
+        "P4": p4_programs(),
+    }
+
+
+def test_bench_full_matrix(benchmark):
+    matrix = benchmark(lambda: chopping_matrix(all_choppings()))
+    assert matrix == EXPECTED
+
+
+def test_matrix_report():
+    matrix = chopping_matrix(all_choppings())
+    rows = [
+        (
+            name,
+            bool_mark(matrix[name]["SER"]),
+            bool_mark(matrix[name]["SI"]),
+            bool_mark(matrix[name]["PSI"]),
+            bool_mark(EXPECTED[name]["SER"]),
+            bool_mark(EXPECTED[name]["SI"]),
+            bool_mark(EXPECTED[name]["PSI"]),
+        )
+        for name in sorted(matrix)
+    ]
+    print_table(
+        "Appendix B: chopping correctness, measured vs paper",
+        ["chopping", "SER", "SI", "PSI",
+         "SER(paper)", "SI(paper)", "PSI(paper)"],
+        rows,
+    )
+    assert matrix == EXPECTED
+    # Permissiveness ordering: correct(SER) ⊆ correct(SI) ⊆ correct(PSI).
+    for row in matrix.values():
+        if row["SER"]:
+            assert row["SI"]
+        if row["SI"]:
+            assert row["PSI"]

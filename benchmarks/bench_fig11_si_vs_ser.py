@@ -1,0 +1,58 @@
+"""E8 — Figure 11 (Appendix B.1): a chopping correct under SI but not
+under serializability.
+
+P3 = {write1, write2}: its SCG's only dangerous cycle (9) has adjacent
+anti-dependencies, so it is SER-critical but not SI-critical.  The
+history H6 produced by P3 splices into a write skew: serializability
+would forbid it, SI allows it — the chopping is correct under SI only.
+"""
+
+import pytest
+
+from repro.anomalies import fig11_h6
+from repro.characterisation import classify_history
+from repro.chopping import (
+    Criterion,
+    analyse_chopping,
+    check_chopping,
+    p3_programs,
+    splice_history,
+)
+
+from helpers import bool_mark, print_table
+
+
+@pytest.mark.parametrize("criterion,expected", [
+    (Criterion.SER, False),
+    (Criterion.SI, True),
+    (Criterion.PSI, True),
+])
+def test_bench_p3_analysis(benchmark, criterion, expected):
+    verdict = benchmark(lambda: analyse_chopping(p3_programs(), criterion))
+    assert verdict.correct == expected
+
+
+def test_fig11_report():
+    rows = []
+    for criterion in Criterion:
+        verdict = analyse_chopping(p3_programs(), criterion)
+        rows.append(
+            (criterion.value, bool_mark(verdict.correct),
+             str(verdict.witness) if verdict.witness else "-")
+        )
+    print_table(
+        "Figure 11: chopping P3 = {write1, write2}",
+        ["criterion", "chopping correct", "critical cycle"],
+        rows,
+    )
+
+    case = fig11_h6()
+    dcg_verdicts = {
+        c.value: check_chopping(case.graph, c).passes for c in Criterion
+    }
+    spliced = splice_history(case.history)
+    membership = classify_history(spliced, init_tid="t_init")
+    print(f"\nH6 dynamic chopping verdicts: {dcg_verdicts}")
+    print(f"splice(H6) membership: {membership}")
+    assert membership == {"SER": False, "SI": True, "PSI": True}
+    assert dcg_verdicts == {"SER": False, "SI": True, "PSI": True}

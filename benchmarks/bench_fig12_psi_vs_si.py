@@ -1,0 +1,57 @@
+"""E9 — Figure 12 (Appendix B.2): a chopping correct under PSI but not
+under SI.
+
+P4 = {write1, write2, read1, read2}: the SCG cycle (10) has two
+non-adjacent anti-dependencies, so it is SI-critical but not PSI-critical.
+G7's history splices into a long fork: in HistPSI \\ HistSI.
+"""
+
+import pytest
+
+from repro.anomalies import fig12_g7
+from repro.characterisation import classify_history
+from repro.chopping import (
+    Criterion,
+    analyse_chopping,
+    check_chopping,
+    p4_programs,
+    splice_history,
+)
+
+from helpers import bool_mark, print_table
+
+
+@pytest.mark.parametrize("criterion,expected", [
+    (Criterion.SER, False),
+    (Criterion.SI, False),
+    (Criterion.PSI, True),
+])
+def test_bench_p4_analysis(benchmark, criterion, expected):
+    verdict = benchmark(lambda: analyse_chopping(p4_programs(), criterion))
+    assert verdict.correct == expected
+
+
+def test_fig12_report():
+    rows = []
+    for criterion in Criterion:
+        verdict = analyse_chopping(p4_programs(), criterion)
+        rows.append(
+            (criterion.value, bool_mark(verdict.correct),
+             str(verdict.witness) if verdict.witness else "-")
+        )
+    print_table(
+        "Figure 12: chopping P4 = {write1, write2, read1, read2}",
+        ["criterion", "chopping correct", "critical cycle"],
+        rows,
+    )
+
+    case = fig12_g7()
+    dcg_verdicts = {
+        c.value: check_chopping(case.graph, c).passes for c in Criterion
+    }
+    spliced = splice_history(case.history)
+    membership = classify_history(spliced, init_tid="t_init")
+    print(f"\nG7 dynamic chopping verdicts: {dcg_verdicts}")
+    print(f"splice(H_G7) membership: {membership}")
+    assert membership == {"SER": False, "SI": False, "PSI": True}
+    assert dcg_verdicts == {"SER": False, "SI": False, "PSI": True}

@@ -1,0 +1,37 @@
+"""E7 — Figure 6: SCG({transfer, lookup1, lookup2}) has no SI-critical
+cycle, so the P2 chopping is correct under SI (Corollary 18)."""
+
+import pytest
+
+from repro.chopping import (
+    Criterion,
+    analyse_chopping,
+    p2_programs,
+    static_chopping_graph,
+)
+
+from helpers import bool_mark, print_table
+
+
+def test_bench_p2_analysis(benchmark):
+    verdict = benchmark(lambda: analyse_chopping(p2_programs(), Criterion.SI))
+    assert verdict.correct
+
+
+def test_fig6_report():
+    scg = static_chopping_graph(p2_programs())
+    rows = []
+    for criterion in Criterion:
+        verdict = analyse_chopping(p2_programs(), criterion)
+        rows.append(
+            (criterion.value, bool_mark(verdict.correct),
+             str(verdict.witness) if verdict.witness else "-")
+        )
+        assert verdict.correct, criterion
+    print_table(
+        "Figure 6: chopping P2 = {transfer, lookup1, lookup2}",
+        ["criterion", "chopping correct", "critical cycle"],
+        rows,
+    )
+    print(f"\nSCG nodes: {sorted(str(n) for n in scg.nodes)}")
+    print(f"SCG edges: {len(scg.edges)}")

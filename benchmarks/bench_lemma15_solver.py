@@ -1,0 +1,76 @@
+"""E2 — Figure 3 / Lemma 15: the inequality system and its least solution.
+
+Checks, on the catalog graphs and random graphs, that the closed form
+satisfies (S1)–(S5) and is minimal, and benchmarks the solver.
+"""
+
+import pytest
+
+from repro.anomalies import fig4_g1, fig4_g2, fig11_h6, fig12_g7
+from repro.characterisation import (
+    Solution,
+    construct_execution,
+    is_smaller_or_equal,
+    least_solution,
+    satisfies_inequalities,
+)
+from repro.graphs import in_graph_si
+from repro.search import graph_from_si_run
+
+from helpers import print_table
+
+
+@pytest.mark.parametrize(
+    "case", [fig4_g1, fig4_g2, fig11_h6, fig12_g7],
+    ids=["fig4_g1", "fig4_g2", "fig11_h6", "fig12_g7"],
+)
+def test_bench_least_solution_catalog(benchmark, case):
+    graph = case().graph
+    solution = benchmark(lambda: least_solution(graph))
+    assert satisfies_inequalities(graph, solution)
+
+
+@pytest.mark.parametrize("size", [10, 20, 40])
+def test_bench_least_solution_scaling(benchmark, size):
+    graph = graph_from_si_run(7, transactions=size, objects=size // 2)
+    solution = benchmark(lambda: least_solution(graph))
+    assert satisfies_inequalities(graph, solution)
+
+
+@pytest.mark.parametrize("size", [10, 20, 40])
+def test_bench_fixpoint_iteration_ablation(benchmark, size):
+    # Ablation: the naive Knaster-Tarski iteration vs the closed form —
+    # same least solution (Lemma 15), very different constant factors.
+    from repro.characterisation import least_solution_by_iteration
+
+    graph = graph_from_si_run(7, transactions=size, objects=size // 2)
+    solution = benchmark(lambda: least_solution_by_iteration(graph))
+    closed = least_solution(graph)
+    assert solution.vis == closed.vis and solution.co == closed.co
+
+
+def test_lemma15_report():
+    rows = []
+    for name, ctor in [
+        ("fig4_g1", fig4_g1), ("fig4_g2", fig4_g2),
+        ("fig11_h6", fig11_h6), ("fig12_g7", fig12_g7),
+    ]:
+        graph = ctor().graph
+        sol = least_solution(graph)
+        satisfied = satisfies_inequalities(graph, sol)
+        minimal = True
+        if in_graph_si(graph):
+            x = construct_execution(graph)
+            minimal = is_smaller_or_equal(
+                sol, Solution(vis=x.vis, co=x.co)
+            )
+        rows.append(
+            (name, len(graph.transactions), len(sol.vis), len(sol.co),
+             satisfied, minimal)
+        )
+        assert satisfied and minimal
+    print_table(
+        "Lemma 15: closed-form least solutions",
+        ["graph", "|T|", "|VIS0|", "|CO0|", "solves (S1)-(S5)", "minimal"],
+        rows,
+    )

@@ -1,0 +1,85 @@
+"""E13 — §6.2: robustness against parallel SI towards SI (Theorem 22).
+
+Dynamic: the long-fork graph is in GraphPSI \\ GraphSI, write skew is not.
+Static: Figure 12's programs (two publishers, two cross readers) are not
+robust; the write-skew banking app is (its only anomalies are SI ones).
+"""
+
+import pytest
+
+from repro.anomalies import long_fork, write_skew
+from repro.characterisation import decide
+from repro.chopping import p4_programs, piece, program
+from repro.graphs import graph_of
+from repro.robustness import (
+    check_robustness_psi_to_si,
+    exhibits_psi_only_behaviour,
+    exhibits_psi_only_behaviour_by_cycles,
+)
+
+from helpers import bool_mark, print_table
+
+
+def long_fork_graph():
+    case = long_fork()
+    return decide(case.history, "PSI", init_tid=case.init_tid).witness
+
+
+def test_bench_dynamic_criterion(benchmark):
+    graph = long_fork_graph()
+    result = benchmark(lambda: exhibits_psi_only_behaviour(graph))
+    assert result
+
+
+def test_bench_static_analysis(benchmark):
+    apps = [p.unchopped() for p in p4_programs()]
+    verdict = benchmark(
+        lambda: check_robustness_psi_to_si(apps, instances=1)
+    )
+    assert not verdict.robust
+
+
+def test_robustness_psi_report():
+    lf = long_fork_graph()
+    ws = graph_of(write_skew().execution)
+    rows = [
+        (
+            "long_fork in GraphPSI\\GraphSI",
+            bool_mark(exhibits_psi_only_behaviour(lf)),
+            bool_mark(exhibits_psi_only_behaviour_by_cycles(lf)),
+        ),
+        (
+            "write_skew in GraphPSI\\GraphSI",
+            bool_mark(exhibits_psi_only_behaviour(ws)),
+            bool_mark(exhibits_psi_only_behaviour_by_cycles(ws)),
+        ),
+    ]
+    print_table(
+        "Theorem 22 (dynamic): compositional vs cycle-based",
+        ["check", "compositional", "by cycles"],
+        rows,
+    )
+    assert rows[0][1] == "yes" and rows[0][2] == "yes"
+    assert rows[1][1] == "no" and rows[1][2] == "no"
+
+    feed = [p.unchopped() for p in p4_programs()]
+    # A robust example: blind writers only — without anti-dependency
+    # edges no dangerous cycle can exist.
+    notify = [
+        program("set_a", piece((), {"flag"})),
+        program("set_b", piece((), {"flag"})),
+    ]
+    static_rows = []
+    for name, app in [("fig12 feed", feed), ("blind writers", notify)]:
+        verdict = check_robustness_psi_to_si(app, instances=2)
+        static_rows.append(
+            (name, bool_mark(verdict.robust),
+             str(verdict.witness) if verdict.witness else "-")
+        )
+    print_table(
+        "§6.2 static robustness against PSI towards SI",
+        ["application", "robust", "dangerous cycle"],
+        static_rows,
+    )
+    assert static_rows[0][1] == "no"
+    assert static_rows[1][1] == "yes"

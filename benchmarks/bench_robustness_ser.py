@@ -1,0 +1,82 @@
+"""E12 — §6.1: robustness against SI (Theorem 19 and its static analysis).
+
+Dynamic: the write-skew graph is in GraphSI \\ GraphSER, the long-fork
+graph is not, acyclic graphs are not.  Static: the banking application of
+Section 1 is flagged, a conflict-materialised variant passes.
+"""
+
+import pytest
+
+from repro.anomalies import write_skew
+from repro.chopping import piece, program
+from repro.graphs import graph_of
+from repro.robustness import (
+    check_robustness_against_si,
+    exhibits_si_only_behaviour,
+    exhibits_si_only_behaviour_by_cycles,
+)
+
+from helpers import bool_mark, print_table
+
+
+def banking_app():
+    return [
+        program("withdraw1", piece({"acct1", "acct2"}, {"acct1"})),
+        program("withdraw2", piece({"acct1", "acct2"}, {"acct2"})),
+    ]
+
+
+def banking_app_fixed():
+    return [
+        program("withdraw1", piece({"acct1", "acct2"}, {"acct1", "lock"})),
+        program("withdraw2", piece({"acct1", "acct2"}, {"acct2", "lock"})),
+    ]
+
+
+def test_bench_dynamic_criterion(benchmark):
+    graph = graph_of(write_skew().execution)
+    result = benchmark(lambda: exhibits_si_only_behaviour(graph))
+    assert result
+
+
+def test_bench_static_analysis(benchmark):
+    verdict = benchmark(
+        lambda: check_robustness_against_si(banking_app(), instances=1)
+    )
+    assert not verdict.robust
+
+
+def test_robustness_ser_report():
+    graph = graph_of(write_skew().execution)
+    rows = [
+        (
+            "write_skew graph in GraphSI\\GraphSER",
+            bool_mark(exhibits_si_only_behaviour(graph)),
+            bool_mark(exhibits_si_only_behaviour_by_cycles(graph)),
+        ),
+    ]
+    print_table(
+        "Theorem 19 (dynamic): compositional vs cycle-based",
+        ["check", "compositional", "by cycles"],
+        rows,
+    )
+
+    static_rows = []
+    for name, app in [
+        ("banking (write skew)", banking_app()),
+        ("banking (materialised conflict)", banking_app_fixed()),
+    ]:
+        verdict = check_robustness_against_si(
+            app, instances=1, require_vulnerable=True
+        )
+        static_rows.append(
+            (name, bool_mark(verdict.robust),
+             str(verdict.witness) if verdict.witness else "-")
+        )
+    print_table(
+        "§6.1 static robustness against SI",
+        ["application", "robust", "dangerous cycle"],
+        static_rows,
+    )
+    assert static_rows[0][1] == "no"
+    assert static_rows[1][1] == "yes"

@@ -1,0 +1,92 @@
+"""E15 — Scalability of the analyses and the ablation benches.
+
+* GraphSI membership (Theorem 9) is polynomial: composition + cycle
+  detection; measured against the exponential cycle-scan variant (the
+  ablation DESIGN.md calls out).
+* Static chopping analysis runtime vs the number of programs.
+* Soundness-construction runtime vs transaction count (complements E3).
+"""
+
+import pytest
+
+from repro.chopping import analyse_chopping, piece, program, replicate
+from repro.graphs import in_graph_si, in_graph_si_by_cycles
+from repro.search import graph_from_si_run
+
+from helpers import print_table
+
+
+@pytest.mark.parametrize("size", [10, 20, 40, 80])
+def test_bench_graphsi_membership_compositional(benchmark, size):
+    graph = graph_from_si_run(
+        size, transactions=size, objects=max(3, size // 4)
+    )
+    result = benchmark(lambda: in_graph_si(graph))
+    assert result
+
+
+@pytest.mark.parametrize("size", [6, 10])
+def test_bench_graphsi_membership_by_cycles_ablation(benchmark, size):
+    # The exponential cycle-scan variant: only feasible at small sizes —
+    # that gap is the point of the ablation.
+    graph = graph_from_si_run(size, transactions=size, objects=3)
+    result = benchmark(lambda: in_graph_si_by_cycles(graph))
+    assert result == in_graph_si(graph)
+
+
+def bank_programs(pairs: int):
+    """2*pairs programs over `pairs` disjoint account pairs, each pair
+    exhibiting a chopped transfer/lookup pattern."""
+    programs = []
+    for i in range(pairs):
+        a, b = f"acct{i}a", f"acct{i}b"
+        programs.append(
+            program(
+                f"transfer{i}",
+                piece({a}, {a}, label=f"{a} -= 100"),
+                piece({b}, {b}, label=f"{b} += 100"),
+            )
+        )
+        programs.append(
+            program(f"lookup{i}", piece({a}, ()), piece({b}, ()))
+        )
+    return programs
+
+
+@pytest.mark.parametrize("pairs", [2, 4, 8])
+def test_bench_static_chopping_scaling(benchmark, pairs):
+    programs = bank_programs(pairs)
+    verdict = benchmark(lambda: analyse_chopping(programs))
+    assert not verdict.correct  # each pair embeds the Figure 5 cycle
+
+
+def test_scalability_report():
+    import time
+
+    rows = []
+    for size in (10, 20, 40, 80):
+        graph = graph_from_si_run(
+            size, transactions=size, objects=max(3, size // 4)
+        )
+        t0 = time.perf_counter()
+        in_graph_si(graph)
+        poly = time.perf_counter() - t0
+        rows.append((size, f"{poly * 1e3:.2f} ms"))
+    print_table(
+        "GraphSI membership (Theorem 9, compositional) scaling",
+        ["transactions", "time"],
+        rows,
+    )
+
+    rows = []
+    for pairs in (2, 4, 8):
+        programs = bank_programs(pairs)
+        t0 = time.perf_counter()
+        analyse_chopping(programs)
+        elapsed = time.perf_counter() - t0
+        rows.append((2 * pairs, 4 * pairs, f"{elapsed * 1e3:.2f} ms"))
+    print_table(
+        "Static chopping analysis scaling",
+        ["programs", "pieces", "time"],
+        rows,
+    )

@@ -1,0 +1,40 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench module reproduces one figure/example/claim of the paper
+(see DESIGN.md's experiment index and EXPERIMENTS.md for the paper-vs-
+measured record).  Benches both *assert* the paper's qualitative outcome
+and *print* the rows the figure implies, so running
+
+    pytest benchmarks/ --benchmark-only -s
+
+reproduces the tables and timing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+
+def print_table(
+    title: str, headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> None:
+    """Print a small fixed-width table (the bench "figure")."""
+    rows = [tuple(str(c) for c in row) for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print()
+    print(title)
+    print("-" * len(line))
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    print("-" * len(line))
+
+
+def bool_mark(flag: bool) -> str:
+    """Render a membership flag the way the paper's prose does."""
+    return "yes" if flag else "no"

@@ -1,0 +1,147 @@
+#!/usr/bin/env python3
+"""A guided tour of the whole paper, figure by figure.
+
+Runs every worked example of *Analysing Snapshot Isolation* in order and
+prints what the paper claims next to what this reproduction computes.
+Think of it as the paper's narrative, executable:
+
+  §2  Figure 2   — the anomaly zoo under SER / SI / PSI
+  §4  Theorem 10 — realising a write skew as a concrete SI execution
+  §5  Figure 4   — the chopped transfer, spliceable or not
+  §5  Figures 5/6 — the static chopping analysis
+  §6  Theorems 19/22 — robustness verdicts
+  App B Figures 11/12/13 — the separating examples
+
+Run:  python examples/paper_tour.py
+"""
+
+from repro.anomalies import (
+    ALL_CASES,
+    fig4_g1,
+    fig4_g2,
+    fig11_h6,
+    fig12_g7,
+    fig13_execution,
+    long_fork,
+    write_skew,
+)
+from repro.characterisation import (
+    classify_history,
+    construct_execution,
+    decide,
+)
+from repro.chopping import (
+    Criterion,
+    analyse_chopping,
+    check_chopping,
+    naive_splice_execution_co,
+    p1_programs,
+    p2_programs,
+    p3_programs,
+    p4_programs,
+    splice_history,
+)
+from repro.graphs import graph_of
+from repro.robustness import (
+    exhibits_psi_only_behaviour,
+    exhibits_si_only_behaviour,
+)
+
+
+def heading(text: str) -> None:
+    print("\n" + "=" * 68)
+    print(text)
+    print("=" * 68)
+
+
+def tour_figure2() -> None:
+    heading("§2, Figure 2 — which model allows which anomaly?")
+    print(f"{'history':22s} {'SER':5s} {'SI':5s} {'PSI':5s}")
+    for name in ("session_guarantees", "lost_update", "long_fork",
+                 "write_skew"):
+        case = ALL_CASES[name]()
+        got = classify_history(case.history, init_tid=case.init_tid)
+        assert got == case.expected, name
+        row = "  ".join(
+            "yes" if got[m] else "no " for m in ("SER", "SI", "PSI")
+        )
+        print(f"{name:22s} {row}")
+    print("-> write skew separates SI from SER; the long fork separates "
+          "PSI from SI.")
+
+
+def tour_theorem10() -> None:
+    heading("§4, Theorem 10 — from dependencies to a real SI execution")
+    case = write_skew()
+    witness = decide(case.history, "SI", init_tid=case.init_tid).witness
+    print("Witness dependency graph for the write skew:")
+    for line in witness.describe().splitlines():
+        if line.startswith(("WR", "WW", "RW")):
+            print(f"  {line}")
+    x = construct_execution(witness)
+    print("\nConstructed execution (VIS/CO satisfying all SI axioms):")
+    for line in x.describe().splitlines()[-2:]:
+        print(f"  {line}")
+    print("-> the soundness construction realises the graph; "
+          "graph(X) == G again:",
+          dict(graph_of(x).wr) == dict(witness.wr))
+
+
+def tour_figure4() -> None:
+    heading("§5, Figure 4 — is the chopped transfer observable?")
+    for label, case in (("G1 (lookupAll)", fig4_g1()),
+                        ("G2 (lookup1/2)", fig4_g2())):
+        verdict = check_chopping(case.graph, Criterion.SI)
+        spliced = classify_history(
+            splice_history(case.history), init_tid="t_init"
+        )["SI"]
+        print(f"{label}: criterion {'passes' if verdict.passes else 'fails'}"
+              f"; splice(H) in HistSI: {spliced}")
+        if verdict.witness:
+            print(f"  critical cycle: {verdict.witness}")
+
+
+def tour_static_chopping() -> None:
+    heading("§5/App B — the static chopping matrix (Figures 5, 6, 11, 12)")
+    print(f"{'chopping':6s} {'SER':5s} {'SI':5s} {'PSI':5s}")
+    for name, programs in (("P1", p1_programs()), ("P2", p2_programs()),
+                           ("P3", p3_programs()), ("P4", p4_programs())):
+        row = "  ".join(
+            "yes" if analyse_chopping(programs, c).correct else "no "
+            for c in Criterion
+        )
+        print(f"{name:6s} {row}")
+    print("-> P3 separates SI from SER; P4 separates PSI from SI "
+          "(the appendix's examples).")
+
+
+def tour_robustness() -> None:
+    heading("§6 — robustness criteria on the canonical graphs")
+    ws = graph_of(write_skew().execution)
+    lf_case = long_fork()
+    lf = decide(lf_case.history, "PSI", init_tid=lf_case.init_tid).witness
+    print(f"write skew graph in GraphSI \\ GraphSER: "
+          f"{exhibits_si_only_behaviour(ws)} (Theorem 19)")
+    print(f"long fork graph in GraphPSI \\ GraphSI: "
+          f"{exhibits_psi_only_behaviour(lf)} (Theorem 22)")
+
+
+def tour_appendix_b3() -> None:
+    heading("App B.3, Figure 13 — why splicing executions directly fails")
+    x = fig13_execution().execution
+    co = naive_splice_execution_co(x)
+    print(f"execution is in ExecSI; naive spliced commit order acyclic: "
+          f"{co.is_acyclic()}")
+    print(f"  the cycle: {co.find_cycle()}")
+    print("-> hence the paper splices dependency graphs, not executions.")
+
+
+if __name__ == "__main__":
+    tour_figure2()
+    tour_theorem10()
+    tour_figure4()
+    tour_static_chopping()
+    tour_robustness()
+    tour_appendix_b3()
+    print("\nTour complete — every claim above is also pinned by the "
+          "test suite and regenerated by `pytest benchmarks/ -s`.")

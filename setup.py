@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+Kept so the package installs in fully-offline environments where the
+``wheel`` package (needed by setuptools' PEP 660 editable path) is
+unavailable: ``python setup.py develop`` works with plain setuptools.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,124 @@
+"""repro — an executable reproduction of *Analysing Snapshot Isolation*
+(Cerone & Gotsman, PODC 2016).
+
+The library provides:
+
+* :mod:`repro.core` — events, transactions, histories with sessions,
+  abstract executions, the consistency axioms of Figure 1, and the SI /
+  SER / PSI models (Definitions 1–4, 20);
+* :mod:`repro.graphs` — Adya-style dependency graphs and the graph classes
+  GraphSER / GraphSI / GraphPSI (Section 3; Theorems 8, 9, 21);
+* :mod:`repro.characterisation` — the inequality solver (Lemma 15), the
+  soundness construction realising GraphSI graphs as SI executions
+  (Theorem 10), and an exact history-membership oracle;
+* :mod:`repro.chopping` — transaction chopping under SI: splicing, dynamic
+  and static chopping graphs, critical cycles (Section 5, Appendix B);
+* :mod:`repro.robustness` — robustness analyses against SER and from PSI
+  towards SI (Section 6);
+* :mod:`repro.mvcc` — an operational multi-version concurrency-control
+  substrate (SI / serializable / parallel-SI engines) with deterministic
+  scheduling and history recording, used to cross-validate the theory;
+* :mod:`repro.anomalies` — the canonical scenarios of the paper's figures;
+* :mod:`repro.search` — random history/graph generators for property-based
+  testing and benchmarks.
+
+Quickstart::
+
+    from repro.anomalies import write_skew
+    from repro.characterisation import classify_history
+
+    case = write_skew()
+    print(classify_history(case.history, init_tid=case.init_tid))
+    # {'SER': False, 'SI': True, 'PSI': True}
+"""
+
+from . import (
+    anomalies,
+    apps,
+    characterisation,
+    chopping,
+    core,
+    graphs,
+    io,
+    monitor,
+    mvcc,
+    robustness,
+    search,
+)
+from .core import (
+    AbstractExecution,
+    ConsistencyModel,
+    History,
+    PSI,
+    PreExecution,
+    Relation,
+    SER,
+    SI,
+    Transaction,
+    history,
+    read,
+    transaction,
+    write,
+)
+from .characterisation import (
+    classify_history,
+    construct_execution,
+    history_in_psi,
+    history_in_ser,
+    history_in_si,
+    least_solution,
+)
+from .graphs import (
+    DependencyGraph,
+    dependency_graph,
+    graph_of,
+    in_graph_psi,
+    in_graph_ser,
+    in_graph_si,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # subpackages
+    "core",
+    "graphs",
+    "characterisation",
+    "chopping",
+    "robustness",
+    "mvcc",
+    "anomalies",
+    "search",
+    "apps",
+    "monitor",
+    "io",
+    # core re-exports
+    "Transaction",
+    "transaction",
+    "read",
+    "write",
+    "History",
+    "history",
+    "AbstractExecution",
+    "PreExecution",
+    "Relation",
+    "ConsistencyModel",
+    "SI",
+    "SER",
+    "PSI",
+    # graphs re-exports
+    "DependencyGraph",
+    "dependency_graph",
+    "graph_of",
+    "in_graph_si",
+    "in_graph_ser",
+    "in_graph_psi",
+    # characterisation re-exports
+    "construct_execution",
+    "least_solution",
+    "history_in_si",
+    "history_in_ser",
+    "history_in_psi",
+    "classify_history",
+]

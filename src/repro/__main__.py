@@ -1,0 +1,7 @@
+"""``python -m repro`` — the command-line front-end."""
+
+import sys
+
+from .io.cli import main
+
+sys.exit(main())

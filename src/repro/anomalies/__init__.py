@@ -1,0 +1,39 @@
+"""Canonical anomaly scenarios from the paper's figures (see catalog)."""
+
+from .catalog import (
+    ALL_CASES,
+    AnomalyCase,
+    INIT_TID,
+    fig4_g1,
+    fractured_read,
+    non_monotonic_reads,
+    session_violation,
+    fig4_g2,
+    fig11_h6,
+    fig12_g7,
+    fig13_execution,
+    load,
+    long_fork,
+    lost_update,
+    session_guarantees,
+    write_skew,
+)
+
+__all__ = [
+    "AnomalyCase",
+    "ALL_CASES",
+    "INIT_TID",
+    "load",
+    "session_guarantees",
+    "lost_update",
+    "long_fork",
+    "write_skew",
+    "fractured_read",
+    "session_violation",
+    "non_monotonic_reads",
+    "fig4_g1",
+    "fig4_g2",
+    "fig11_h6",
+    "fig12_g7",
+    "fig13_execution",
+]

@@ -1,0 +1,415 @@
+"""The canonical histories and executions from the paper's figures.
+
+Each catalog entry packages a named history (with its initialisation
+transaction), optionally a canonical abstract execution realising it, and
+the paper's expected classification under SER / SI / PSI:
+
+* ``session_guarantees``  — Figure 2(a): allowed everywhere.
+* ``lost_update``         — Figure 2(b): allowed by none of the models.
+* ``long_fork``           — Figure 2(c): in HistPSI \\ HistSI.
+* ``write_skew``          — Figure 2(d): in HistSI \\ HistSER.
+* ``fig4_g1`` / ``fig4_g2`` — Figure 4's chopped-transfer graphs (the
+  running example of Section 5); G1 is not spliceable, G2 is.
+* ``fig11_h6``            — Appendix B.1: chopping correct under SI but
+  whose splice is a write skew (not serializable).
+* ``fig12_g7``            — Appendix B.2: chopping correct under PSI but
+  whose splice is a long fork (not in HistSI).
+* ``fig13_execution``     — Appendix B.3: an SI execution whose *direct*
+  splicing produces a cyclic commit order, motivating graph splicing.
+
+Values are concrete (the paper leaves some implicit): initial balances are
+zero unless the scenario dictates otherwise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..core.events import read, write
+from ..core.executions import AbstractExecution, execution
+from ..core.histories import History, history
+from ..core.transactions import (
+    Transaction,
+    initialisation_transaction,
+    transaction,
+)
+from ..graphs.dependency import DependencyGraph, dependency_graph
+
+INIT_TID = "t_init"
+
+
+@dataclass(frozen=True)
+class AnomalyCase:
+    """A named scenario from the paper with its expected classification.
+
+    Attributes:
+        name: catalog key.
+        description: what the scenario illustrates.
+        history: the client-visible history, initialisation included.
+        expected: expected history-level membership per model name.
+        execution: a canonical abstract execution of the history, when the
+            figure specifies one (used by axiom-level tests).
+        graph: a canonical dependency graph, when the figure draws one
+            (used by chopping/robustness tests).
+    """
+
+    name: str
+    description: str
+    history: History
+    expected: Dict[str, bool]
+    execution: Optional[AbstractExecution] = None
+    graph: Optional[DependencyGraph] = None
+
+    @property
+    def init_tid(self) -> str:
+        """The id of the initialisation transaction."""
+        return INIT_TID
+
+
+def session_guarantees() -> AnomalyCase:
+    """Figure 2(a): a session write followed by a session read of it.
+
+    ``T1`` writes ``x = 1``; ``T2``, later in the same session, must see
+    the write (SESSION forces ``T1 --VIS--> T2``).  Allowed by every model.
+    """
+    init = initialisation_transaction(["x"])
+    t1 = transaction("t1", write("x", 1))
+    t2 = transaction("t2", read("x", 1))
+    h = history([init], [t1, t2])
+    vis = [(init, t1), (init, t2), (t1, t2)]
+    co = [(init, t1), (t1, t2)]
+    return AnomalyCase(
+        name="session_guarantees",
+        description="Figure 2(a): session order forces visibility",
+        history=h,
+        expected={"SER": True, "SI": True, "PSI": True},
+        execution=execution(h, vis, co),
+    )
+
+
+def lost_update() -> AnomalyCase:
+    """Figure 2(b): two concurrent increments, one deposit lost.
+
+    Both transactions read ``acct = 0`` and write back their own deposit;
+    NOCONFLICT (the write-conflict check) rules this out under SI and PSI,
+    and it is trivially not serializable.  Allowed by no model.
+    """
+    init = initialisation_transaction(["acct"])
+    t1 = transaction("t1", read("acct", 0), write("acct", 50))
+    t2 = transaction("t2", read("acct", 0), write("acct", 25))
+    h = history([init], [t1], [t2])
+    return AnomalyCase(
+        name="lost_update",
+        description="Figure 2(b): lost update — concurrent blind increments",
+        history=h,
+        expected={"SER": False, "SI": False, "PSI": False},
+    )
+
+
+def long_fork() -> AnomalyCase:
+    """Figure 2(c): two independent writes observed in opposite orders.
+
+    ``T3`` sees ``T1``'s write to ``x`` but not ``T2``'s to ``y``; ``T4``
+    the converse.  PREFIX rules this out under SI; parallel SI allows it.
+    """
+    init = initialisation_transaction(["x", "y"])
+    t1 = transaction("t1", write("x", 1))
+    t2 = transaction("t2", write("y", 1))
+    t3 = transaction("t3", read("x", 1), read("y", 0))
+    t4 = transaction("t4", read("x", 0), read("y", 1))
+    h = history([init], [t1], [t2], [t3], [t4])
+    return AnomalyCase(
+        name="long_fork",
+        description="Figure 2(c): long fork — PSI-only anomaly",
+        history=h,
+        expected={"SER": False, "SI": False, "PSI": True},
+    )
+
+
+def write_skew() -> AnomalyCase:
+    """Figure 2(d): the characteristic SI anomaly (Section 1's example).
+
+    Both transactions check ``acct1 + acct2 > 100`` against the initial
+    balances (70 + 80) and withdraw 100 from *different* accounts, driving
+    the combined balance negative.  Allowed by SI (and PSI) but not by
+    serializability.
+    """
+    init = transaction(INIT_TID, write("acct1", 70), write("acct2", 80))
+    t1 = transaction(
+        "t1", read("acct1", 70), read("acct2", 80), write("acct1", -30)
+    )
+    t2 = transaction(
+        "t2", read("acct1", 70), read("acct2", 80), write("acct2", -20)
+    )
+    h = history([init], [t1], [t2])
+    vis = [(init, t1), (init, t2)]
+    co = [(init, t1), (t1, t2)]
+    return AnomalyCase(
+        name="write_skew",
+        description="Figure 2(d): write skew — allowed by SI, not SER",
+        history=h,
+        expected={"SER": False, "SI": True, "PSI": True},
+        execution=execution(h, vis, co),
+    )
+
+
+def fig4_g1() -> AnomalyCase:
+    """Figure 4's graph ``G1``: a chopped transfer observed mid-flight.
+
+    The ``transfer`` program is chopped into a session of two transactions
+    (``t_tr1`` debits acct1, ``t_tr2`` credits acct2); the ``lookupAll``
+    transaction ``s`` sees the debit but not the credit.  The *chopped*
+    history is perfectly consistent (even serializable: init, t_tr1, s,
+    t_tr2) — the problem is that the chopping is not spliceable: the
+    spliced lookup would observe half a transfer, so splice(H_G1) is not
+    in HistSI.
+    """
+    init = initialisation_transaction(["acct1", "acct2"])
+    t_tr1 = transaction("t_tr1", read("acct1", 0), write("acct1", -100))
+    t_tr2 = transaction("t_tr2", read("acct2", 0), write("acct2", 100))
+    s = transaction("s", read("acct1", -100), read("acct2", 0))
+    h = history([init], [t_tr1, t_tr2], [s])
+    graph = dependency_graph(
+        h,
+        wr={
+            "acct1": [(init, t_tr1), (t_tr1, s)],
+            "acct2": [(init, t_tr2), (init, s)],
+        },
+        ww={
+            "acct1": [(init, t_tr1)],
+            "acct2": [(init, t_tr2)],
+        },
+    )
+    return AnomalyCase(
+        name="fig4_g1",
+        description="Figure 4 G1: chopped transfer seen mid-flight (not spliceable)",
+        history=h,
+        expected={"SER": True, "SI": True, "PSI": True},
+        graph=graph,
+    )
+
+
+def fig4_g2() -> AnomalyCase:
+    """Figure 4's graph ``G2``: the same chopped transfer with per-account
+    lookups (``lookup1``, ``lookup2``).  Spliceable: the lookups cannot
+    observe an inconsistent cross-account state."""
+    init = initialisation_transaction(["acct1", "acct2"])
+    t_tr1 = transaction("t_tr1", read("acct1", 0), write("acct1", -100))
+    t_tr2 = transaction("t_tr2", read("acct2", 0), write("acct2", 100))
+    s1 = transaction("s1", read("acct1", -100))
+    s2 = transaction("s2", read("acct2", 100))
+    h = history([init], [t_tr1, t_tr2], [s1], [s2])
+    graph = dependency_graph(
+        h,
+        wr={
+            "acct1": [(init, t_tr1), (t_tr1, s1)],
+            "acct2": [(init, t_tr2), (t_tr2, s2)],
+        },
+        ww={
+            "acct1": [(init, t_tr1)],
+            "acct2": [(init, t_tr2)],
+        },
+    )
+    return AnomalyCase(
+        name="fig4_g2",
+        description="Figure 4 G2: chopped transfer with single-account lookups (spliceable)",
+        history=h,
+        expected={"SER": True, "SI": True, "PSI": True},
+        graph=graph,
+    )
+
+
+def fig11_h6() -> AnomalyCase:
+    """Appendix B.1 (Figure 11): chopping correct under SI, not under SER.
+
+    Sessions ``write1 = [read x; write y]`` and ``write2 = [read y;
+    write x]``, both chopped into two transactions reading the initial
+    snapshot.  The chopped history is serializable; its *splice* is a
+    write skew — demonstrating that P3's chopping is incorrect under
+    serializability yet correct under SI.
+    """
+    init = transaction(INIT_TID, write("x", 5), write("y", 7))
+    t11 = transaction("t11", read("x", 5))
+    t12 = transaction("t12", write("y", 5))
+    t21 = transaction("t21", read("y", 7))
+    t22 = transaction("t22", write("x", 7))
+    h = history([init], [t11, t12], [t21, t22])
+    graph = dependency_graph(
+        h,
+        wr={"x": [(init, t11)], "y": [(init, t21)]},
+        ww={"x": [(init, t22)], "y": [(init, t12)]},
+    )
+    return AnomalyCase(
+        name="fig11_h6",
+        description="Figure 11 H6: chopped cross-write whose splice is a write skew",
+        history=h,
+        expected={"SER": True, "SI": True, "PSI": True},
+        graph=graph,
+    )
+
+
+def fig12_g7() -> AnomalyCase:
+    """Appendix B.2 (Figure 12): chopping correct under PSI, not under SI.
+
+    ``write1``/``write2`` publish posts ``x`` and ``y``; chopped readers
+    ``read1 = [a := y; b := x]`` and ``read2 = [a := x; b := y]`` observe
+    the two posts in opposite orders.  The chopped history is allowed by
+    SI; its splice is a long fork — not in HistSI.
+    """
+    init = initialisation_transaction(["x", "y"])
+    w1 = transaction("w1", write("x", 1))
+    w2 = transaction("w2", write("y", 1))
+    r1a = transaction("r1a", read("y", 0))
+    r1b = transaction("r1b", read("x", 1))
+    r2a = transaction("r2a", read("x", 0))
+    r2b = transaction("r2b", read("y", 1))
+    h = history([init], [w1], [w2], [r1a, r1b], [r2a, r2b])
+    graph = dependency_graph(
+        h,
+        wr={
+            "x": [(w1, r1b), (init, r2a)],
+            "y": [(w2, r2b), (init, r1a)],
+        },
+        ww={
+            "x": [(init, w1)],
+            "y": [(init, w2)],
+        },
+    )
+    return AnomalyCase(
+        name="fig12_g7",
+        description="Figure 12 G7: chopped reads whose splice is a long fork",
+        history=h,
+        expected={"SER": True, "SI": True, "PSI": True},
+        graph=graph,
+    )
+
+
+def fig13_execution() -> AnomalyCase:
+    """Appendix B.3 (Figure 13): why executions are not spliced directly.
+
+    An SI execution with sessions ``[T1, T2]`` and ``[S1, S2]`` whose
+    commit order interleaves the sessions (``T1 < S1 < T2 < S2``).  Lifting
+    CO to spliced transactions relates the two sessions in both directions,
+    so the "spliced execution" has a cyclic commit order; splicing the
+    *dependency graph* instead succeeds.
+    """
+    init = initialisation_transaction(["x", "y"])
+    t1 = transaction("T1", write("x", 1))
+    s1 = transaction("S1", read("x", 1))
+    t2 = transaction("T2", write("y", 1))
+    s2 = transaction("S2", read("y", 1))
+    h = history([init], [t1, t2], [s1, s2])
+    vis = [
+        (init, t1),
+        (init, s1),
+        (init, t2),
+        (init, s2),
+        (t1, s1),
+        (t1, t2),
+        (s1, s2),
+        (t2, s2),
+        (t1, s2),
+    ]
+    co = [(init, t1), (t1, s1), (s1, t2), (t2, s2)]
+    return AnomalyCase(
+        name="fig13_execution",
+        description="Figure 13: SI execution whose direct splice has cyclic CO",
+        history=h,
+        expected={"SER": True, "SI": True, "PSI": True},
+        execution=execution(h, vis, co),
+    )
+
+
+def fractured_read() -> AnomalyCase:
+    """Fractured read: observing half of another transaction's writes.
+
+    ``T1`` writes both ``x`` and ``y``; ``T2`` reads ``T1``'s ``x`` but
+    the initial ``y``.  Every model in this paper takes atomic snapshots
+    (EXT reads all of a visible transaction's writes), so all three
+    forbid it — unlike e.g. read-committed systems.  Not a paper figure;
+    included because it delimits what SESSION/EXT already give.
+    """
+    init = initialisation_transaction(["x", "y"])
+    t1 = transaction("t1", write("x", 1), write("y", 1))
+    t2 = transaction("t2", read("x", 1), read("y", 0))
+    h = history([init], [t1], [t2])
+    return AnomalyCase(
+        name="fractured_read",
+        description="fractured read — half of T1's writes observed",
+        history=h,
+        expected={"SER": False, "SI": False, "PSI": False},
+    )
+
+
+def session_violation() -> AnomalyCase:
+    """A strong-session violation: a transaction missing its own
+    session's earlier write.
+
+    ``T1`` writes ``x = 1`` and ``T2``, later in the *same session*,
+    reads the initial ``x = 0``.  SESSION forces ``T1 --VIS--> T2`` in
+    every model here (Definition 4 is the *strong session* variant), so
+    all three reject it; plain (sessionless) SI would allow it.
+    """
+    init = initialisation_transaction(["x"])
+    t1 = transaction("t1", write("x", 1))
+    t2 = transaction("t2", read("x", 0))
+    h = history([init], [t1, t2])
+    return AnomalyCase(
+        name="session_violation",
+        description="stale session read — violates the SESSION axiom",
+        history=h,
+        expected={"SER": False, "SI": False, "PSI": False},
+    )
+
+
+def non_monotonic_reads() -> AnomalyCase:
+    """Observations travelling backwards within a session.
+
+    ``T1`` (session A) reads ``x = 1`` (so ``w``'s write is visible);
+    ``T2``, later in session A, reads ``x = 0`` again.  Forbidden by all
+    three models: SESSION plus EXT make a session's snapshots grow
+    monotonically (for SI/SER via PREFIX/TOTALVIS, for PSI via TRANSVIS:
+    ``w VIS T1 SO⊆VIS T2`` forces ``w VIS T2``).
+    """
+    init = initialisation_transaction(["x"])
+    w = transaction("w", write("x", 1))
+    t1 = transaction("t1", read("x", 1))
+    t2 = transaction("t2", read("x", 0))
+    h = history([init], [w], [t1, t2])
+    return AnomalyCase(
+        name="non_monotonic_reads",
+        description="session re-reads an older value — snapshots must grow",
+        history=h,
+        expected={"SER": False, "SI": False, "PSI": False},
+    )
+
+
+ALL_CASES = {
+    case().name: case
+    for case in (
+        session_guarantees,
+        lost_update,
+        long_fork,
+        write_skew,
+        fractured_read,
+        session_violation,
+        non_monotonic_reads,
+        fig4_g1,
+        fig4_g2,
+        fig11_h6,
+        fig12_g7,
+        fig13_execution,
+    )
+}
+"""Catalog index: name → zero-argument constructor."""
+
+
+def load(name: str) -> AnomalyCase:
+    """Fetch a catalog case by name."""
+    try:
+        return ALL_CASES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown case {name!r}; available: {sorted(ALL_CASES)}"
+        ) from None

@@ -1,0 +1,52 @@
+"""Read/write-set models of standard OLTP applications.
+
+The applications the SI-robustness literature analyses: SmallBank (the
+canonical non-robust example) and TPC-C (proved robust against SI by
+Fekete et al. [18]).  Used by the robustness benchmarks and tests.
+"""
+
+from .smallbank import (
+    amalgamate_program,
+    amalgamate_tx,
+    balance_program,
+    balance_tx,
+    deposit_checking_program,
+    deposit_checking_tx,
+    initial_state,
+    smallbank_programs,
+    transact_savings_program,
+    transact_savings_tx,
+    write_check_program,
+    write_check_tx,
+    write_skew_sessions,
+)
+from .tpcc import (
+    delivery_program,
+    new_order_program,
+    order_status_program,
+    payment_program,
+    stock_level_program,
+    tpcc_programs,
+)
+
+__all__ = [
+    "smallbank_programs",
+    "balance_program",
+    "deposit_checking_program",
+    "transact_savings_program",
+    "amalgamate_program",
+    "write_check_program",
+    "balance_tx",
+    "deposit_checking_tx",
+    "transact_savings_tx",
+    "amalgamate_tx",
+    "write_check_tx",
+    "initial_state",
+    "write_skew_sessions",
+    "tpcc_programs",
+    "new_order_program",
+    "payment_program",
+    "delivery_program",
+    "order_status_program",
+    "stock_level_program",
+]

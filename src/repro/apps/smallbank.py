@@ -1,0 +1,211 @@
+"""SmallBank: the canonical SI-robustness counterexample.
+
+SmallBank (Alomari et al., ICDE 2008) is the standard benchmark of the
+SI-robustness literature the paper's Section 6 analyses target.  Each
+customer has a *checking* and a *savings* account; the five transaction
+programs are modelled here by their read/write sets (for the static
+analyses) and as executable transaction programs (for the engines):
+
+* ``Balance(N)``          — read ``s_N, c_N`` (read-only);
+* ``DepositChecking(N)``  — read/write ``c_N``;
+* ``TransactSavings(N)``  — read/write ``s_N``;
+* ``Amalgamate(N1, N2)``  — move all funds of N1 into N2's checking;
+* ``WriteCheck(N)``       — read ``s_N, c_N``, write ``c_N`` (cash a
+  cheque if the combined balance covers it).
+
+The known result: SmallBank is **not robust against SI** — ``WriteCheck``
+and ``TransactSavings`` on the same customer form a write skew (both read
+the combined balance; one debits checking, the other debits savings), so
+running it under SI can overdraw a customer that serializability would
+protect.  The static analysis of §6.1 finds exactly this cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..chopping.programs import Program, piece, program
+from ..mvcc.runtime import ReadOp, TxProgram, WriteOp
+
+
+def checking(customer: int) -> str:
+    """Object name of a customer's checking account."""
+    return f"checking{customer}"
+
+
+def savings(customer: int) -> str:
+    """Object name of a customer's savings account."""
+    return f"savings{customer}"
+
+
+# ----------------------------------------------------------------------
+# Read/write-set models (for the static analyses)
+# ----------------------------------------------------------------------
+
+
+def balance_program(customer: int) -> Program:
+    """Read-only combined-balance query."""
+    return program(
+        f"Balance({customer})",
+        piece({savings(customer), checking(customer)}, ()),
+    )
+
+
+def deposit_checking_program(customer: int) -> Program:
+    """Deposit into checking (read-modify-write on one object)."""
+    c = checking(customer)
+    return program(f"DepositChecking({customer})", piece({c}, {c}))
+
+
+def transact_savings_program(customer: int) -> Program:
+    """Deposit/withdrawal on savings (read-modify-write on one object)."""
+    s = savings(customer)
+    return program(f"TransactSavings({customer})", piece({s}, {s}))
+
+
+def amalgamate_program(src: int, dst: int) -> Program:
+    """Move all of ``src``'s funds into ``dst``'s checking."""
+    return program(
+        f"Amalgamate({src},{dst})",
+        piece(
+            {savings(src), checking(src), checking(dst)},
+            {savings(src), checking(src), checking(dst)},
+        ),
+    )
+
+
+def write_check_program(customer: int) -> Program:
+    """Cash a cheque against the combined balance, debiting checking.
+
+    The vulnerable transaction: it reads both accounts but writes only
+    checking, so it can race ``TransactSavings`` without a write-write
+    conflict — the SmallBank write skew.
+    """
+    return program(
+        f"WriteCheck({customer})",
+        piece(
+            {savings(customer), checking(customer)}, {checking(customer)}
+        ),
+    )
+
+
+def smallbank_programs(customers: int = 1) -> List[Program]:
+    """The full SmallBank mix over ``customers`` customers (read/write-set
+    model, one instance per program; replicate for concurrency)."""
+    programs: List[Program] = []
+    for n in range(customers):
+        programs.extend(
+            [
+                balance_program(n),
+                deposit_checking_program(n),
+                transact_savings_program(n),
+                write_check_program(n),
+            ]
+        )
+    if customers >= 2:
+        programs.append(amalgamate_program(0, 1))
+    else:
+        programs.append(amalgamate_program(0, 0))
+    return programs
+
+
+# ----------------------------------------------------------------------
+# Operational programs (for the MVCC engines)
+# ----------------------------------------------------------------------
+
+
+def balance_tx(customer: int) -> TxProgram:
+    """Operational Balance: read both accounts."""
+
+    def tx():
+        yield ReadOp(savings(customer))
+        yield ReadOp(checking(customer))
+
+    return tx
+
+
+def deposit_checking_tx(customer: int, amount: int) -> TxProgram:
+    """Operational DepositChecking."""
+
+    def tx():
+        value = yield ReadOp(checking(customer))
+        yield WriteOp(checking(customer), value + amount)
+
+    return tx
+
+
+def transact_savings_tx(customer: int, amount: int) -> TxProgram:
+    """Operational TransactSavings (negative ``amount`` withdraws,
+    refused if it would overdraw savings alone)."""
+
+    def tx():
+        value = yield ReadOp(savings(customer))
+        if value + amount >= 0:
+            yield WriteOp(savings(customer), value + amount)
+
+    return tx
+
+
+def write_check_tx(customer: int, amount: int) -> TxProgram:
+    """Operational WriteCheck: cash ``amount`` against the combined
+    balance (an extra penalty applies on overdraft, per the benchmark)."""
+
+    def tx():
+        s = yield ReadOp(savings(customer))
+        c = yield ReadOp(checking(customer))
+        if s + c >= amount:
+            yield WriteOp(checking(customer), c - amount)
+        else:
+            yield WriteOp(checking(customer), c - amount - 1)
+
+    return tx
+
+
+def amalgamate_tx(src: int, dst: int) -> TxProgram:
+    """Operational Amalgamate."""
+
+    def tx():
+        s = yield ReadOp(savings(src))
+        c = yield ReadOp(checking(src))
+        d = yield ReadOp(checking(dst))
+        yield WriteOp(savings(src), 0)
+        yield WriteOp(checking(src), 0)
+        yield WriteOp(checking(dst), d + s + c)
+
+    return tx
+
+
+def initial_state(customers: int, balance: int = 100) -> Dict[str, int]:
+    """Initial account balances: ``balance`` in each account."""
+    state: Dict[str, int] = {}
+    for n in range(customers):
+        state[savings(n)] = balance
+        state[checking(n)] = balance
+    return state
+
+
+def write_skew_sessions(customer: int = 0) -> Dict[str, List[TxProgram]]:
+    """The SmallBank anomaly workload (Alomari et al.'s scenario).
+
+    ``WriteCheck`` races ``TransactSavings`` on the same customer while a
+    ``Balance`` auditor observes.  Under SI, with the right interleaving,
+    the cheque is cashed against the pre-withdrawal snapshot (no penalty)
+    while the auditor sees the withdrawal but not the cheque — a cycle
+    ``Balance --RW--> WriteCheck --RW--> TransactSavings --WR--> Balance``
+    that no serial order explains.  Under serializability one of the
+    three aborts and retries.
+    """
+    return {
+        "teller": [write_check_tx(customer, 150)],
+        "atm": [transact_savings_tx(customer, -100)],
+        "auditor": [balance_tx(customer)],
+    }
+
+
+ANOMALY_SCHEDULE = [
+    "teller", "teller",          # WriteCheck reads savings, checking
+    "atm", "atm", "atm",         # TransactSavings runs and commits
+    "auditor", "auditor", "auditor",  # Balance sees atm but not teller
+    "teller", "teller",          # WriteCheck writes checking, commits
+]
+"""The interleaving that triggers the SmallBank anomaly under SI."""

@@ -1,0 +1,77 @@
+"""The SI characterisation (Section 4): Lemma 15, Theorem 10, membership.
+
+This subpackage turns the paper's central theorem into executable
+algorithms: the closed-form least solution of the Figure 3 inequality
+system (:mod:`.solver`), the soundness construction realising any GraphSI
+dependency graph as an SI execution (:mod:`.soundness`), the completeness
+checks (:mod:`.completeness`), and an exact history-membership oracle
+(:mod:`.membership`).
+"""
+
+from .solver import (
+    Solution,
+    inequality_violations,
+    is_smaller_or_equal,
+    least_solution,
+    least_solution_by_iteration,
+    satisfies_inequalities,
+)
+from .soundness import (
+    PairPicker,
+    construct_execution,
+    default_pair_picker,
+    initial_pre_execution,
+    pre_execution_chain,
+    totalisation_steps,
+)
+from .completeness import (
+    check_lemma12,
+    execution_solution,
+    graph_is_complete_for,
+)
+from .exec_search import (
+    classify_history_by_executions,
+    find_execution,
+    history_allowed,
+)
+from .membership import (
+    Decision,
+    candidate_writers,
+    classify_history,
+    decide,
+    extensions,
+    history_in_psi,
+    history_in_ser,
+    history_in_si,
+    search_space_size,
+)
+
+__all__ = [
+    "Solution",
+    "least_solution",
+    "least_solution_by_iteration",
+    "inequality_violations",
+    "satisfies_inequalities",
+    "is_smaller_or_equal",
+    "construct_execution",
+    "pre_execution_chain",
+    "initial_pre_execution",
+    "default_pair_picker",
+    "PairPicker",
+    "totalisation_steps",
+    "check_lemma12",
+    "graph_is_complete_for",
+    "execution_solution",
+    "Decision",
+    "decide",
+    "extensions",
+    "candidate_writers",
+    "history_in_si",
+    "history_in_ser",
+    "history_in_psi",
+    "classify_history",
+    "search_space_size",
+    "find_execution",
+    "history_allowed",
+    "classify_history_by_executions",
+]

@@ -1,0 +1,59 @@
+"""Completeness direction of Theorem 10 and the supporting lemmas.
+
+Theorem 10(ii): for every execution ``X ∈ ExecSI``, ``graph(X) ∈ GraphSI``.
+The proof relies on Lemma 12 — in any SI execution,
+``VIS ; RW ⊆ CO`` — and on the minimality part of Lemma 15.
+
+This module makes those facts executable:
+
+* :func:`check_lemma12` verifies ``VIS_X ; RW_X ⊆ CO_X`` on an execution;
+* :func:`graph_is_complete_for` verifies ``graph(X) ∈ GraphSI``;
+* :func:`execution_solution` views an execution's own (VIS, CO) as a
+  solution of the Figure 3 system — which, by minimality, must contain the
+  least solution (tested property).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..core.executions import AbstractExecution, PreExecution
+from ..graphs.classify import in_graph_si
+from ..graphs.extraction import graph_of
+from .solver import Solution
+
+
+def check_lemma12(execution: PreExecution) -> List[str]:
+    """Violations of Lemma 12 (``VIS ; RW ⊆ CO``) on an execution.
+
+    For ``X ∈ ExecSI`` the result must be empty; the lemma is what makes
+    (S5) a *necessary* inequality.
+    """
+    graph = graph_of(execution, validate=False)
+    missing = (
+        execution.vis.compose(graph.rw_union).pairs - execution.co.pairs
+    )
+    return [
+        f"Lemma 12: {a.tid} --VIS;RW--> {b.tid} not in CO"
+        for a, b in sorted(missing, key=lambda p: (p[0].tid, p[1].tid))
+    ]
+
+
+def graph_is_complete_for(execution: AbstractExecution) -> bool:
+    """Theorem 10(ii) as a check: ``graph(X) ∈ GraphSI``.
+
+    Callers are expected to pass executions in ExecSI; the function simply
+    extracts the dependency graph and tests Theorem 9's condition.
+    """
+    return in_graph_si(graph_of(execution))
+
+
+def execution_solution(execution: PreExecution) -> Solution:
+    """The execution's own (VIS, CO) packaged as a Figure 3 candidate.
+
+    By Lemma 12, for SI executions this is a genuine solution of the
+    system (for the WR/WW/RW extracted from the execution); by Lemma 15's
+    minimality, it contains the least solution.  Both facts are verified
+    by the property-based tests.
+    """
+    return Solution(vis=execution.vis, co=execution.co)

@@ -1,0 +1,234 @@
+"""Execution-level membership search: the brute-force ground truth.
+
+Definition 4 defines ``HistM`` as the histories extensible to an abstract
+execution satisfying M's axioms.  The main oracle
+(:mod:`repro.characterisation.membership`) decides this via the dependency
+-graph characterisations (Theorems 8/9/21); this module instead implements
+the definition *literally* — enumerate commit orders and visibility
+relations, check the axioms — with no dependency-graph machinery at all.
+
+The two oracles deciding the same sets is a *theorem* (Theorems 8, 9, 21),
+so their agreement on small histories is an end-to-end validation of the
+paper's characterisations that shares no code with the graph-based path.
+It is exponential in a worse way than the graph search (|CO| candidates ×
+2^|CO| visibility subsets before pruning) and is therefore only intended
+for histories of ≤ ~5 transactions.
+
+Pruning keeps the search practical at that size:
+
+* CO candidates are linearisations of SO (SESSION + VIS ⊆ CO force SO
+  into CO);
+* VIS is chosen per-transaction as a subset of its CO-predecessors that
+  includes its SO-predecessors, and, for SI, must be a CO-downward-closed
+  prefix (PREFIX makes any other choice futile);
+* EXT is checked incrementally per transaction.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from ..core.executions import AbstractExecution
+from ..core.histories import History
+from ..core.models import AXIOMATIC_MODELS, MODELS, ConsistencyModel
+from ..core.relations import Relation
+from ..core.transactions import Transaction
+
+
+def _so_linearisations(history: History) -> Iterator[List[Transaction]]:
+    """All total orders of the transactions extending the session order."""
+    txns = sorted(history.transactions, key=lambda t: t.tid)
+    so = history.session_order
+    for perm in itertools.permutations(txns):
+        position = {t: i for i, t in enumerate(perm)}
+        if all(position[a] < position[b] for a, b in so):
+            yield list(perm)
+
+
+def _visibility_choices(
+    history: History,
+    commit_sequence: Sequence[Transaction],
+    model: str,
+) -> Iterator[Relation[Transaction]]:
+    """All candidate VIS relations for a given commit order.
+
+    For SER, VIS = CO is forced (TOTALVIS plus VIS ⊆ CO).  For SI, PREFIX
+    (with VIS ⊆ CO) means each transaction sees a CO-prefix, so the
+    choice per transaction is *how long* a prefix — n choices instead of
+    2^n.  For PSI, any SO-containing subset of the CO-predecessors is a
+    candidate (TRANSVIS is checked afterwards).
+    """
+    position = {t: i for i, t in enumerate(commit_sequence)}
+    so = history.session_order
+
+    if model == "SER":
+        yield Relation.total_order(commit_sequence)
+        return
+
+    if model in ("SI", "PC"):
+        # PREFIX holds in both models, so each transaction sees a
+        # CO-prefix: per transaction the choice is just the prefix
+        # length, >= 1 + max SO-predecessor index.
+        ranges: List[List[int]] = []
+        for i, t in enumerate(commit_sequence):
+            lo = 0
+            for a, b in so:
+                if b == t:
+                    lo = max(lo, position[a] + 1)
+            ranges.append(list(range(lo, i + 1)))
+        for prefix_lens in itertools.product(*ranges):
+            pairs: Set[Tuple[Transaction, Transaction]] = set()
+            for i, t in enumerate(commit_sequence):
+                for j in range(prefix_lens[i]):
+                    pairs.add((commit_sequence[j], t))
+            yield Relation(pairs, history.transactions)
+        return
+
+    if model == "PSI":
+        # Arbitrary subsets of CO-predecessors containing SO-predecessors.
+        per_txn: List[List[FrozenSet[Transaction]]] = []
+        for i, t in enumerate(commit_sequence):
+            forced = {a for a, b in so if b == t}
+            optional = [
+                commit_sequence[j]
+                for j in range(i)
+                if commit_sequence[j] not in forced
+            ]
+            choices = []
+            for r in range(len(optional) + 1):
+                for combo in itertools.combinations(optional, r):
+                    choices.append(frozenset(forced) | frozenset(combo))
+            per_txn.append(choices)
+        for combo in itertools.product(*per_txn):
+            pairs = {
+                (a, t)
+                for t, sources in zip(commit_sequence, combo)
+                for a in sources
+            }
+            yield Relation(pairs, history.transactions)
+        return
+
+    raise ValueError(f"unknown model {model!r}")
+
+
+def find_execution(
+    history: History, model: str, init_tid: Optional[str] = None
+) -> Optional[AbstractExecution]:
+    """Search for an execution of ``history`` satisfying ``model``'s
+    axioms, by direct enumeration of (CO, VIS).
+
+    Args:
+        history: the history (≤ ~5 non-initialisation transactions).
+        model: ``"SI"``, ``"SER"`` or ``"PSI"``.
+        init_tid: id of the initialisation transaction, forced first in
+            CO and visible to everyone (the paper's convention).
+
+    Returns:
+        A witnessing :class:`AbstractExecution`, or ``None`` if no
+        extension satisfies the axioms (``history ∉ HistM``).
+    """
+    consistency: ConsistencyModel = AXIOMATIC_MODELS[model]
+    init = history.by_tid(init_tid) if init_tid is not None else None
+    for commit_sequence in _so_linearisations(history):
+        if init is not None and commit_sequence[0] != init:
+            continue
+        co = Relation.total_order(commit_sequence)
+        for vis in _visibility_choices(history, commit_sequence, model):
+            if init is not None:
+                extra = {
+                    (init, t)
+                    for t in history.transactions
+                    if t != init
+                }
+                if not extra <= set(vis.pairs):
+                    vis = vis.union(Relation(extra, history.transactions))
+            candidate = AbstractExecution(history, vis, co, validate=False)
+            if candidate.well_formedness_violations():
+                continue
+            if consistency.satisfied_by(candidate):
+                return candidate
+    return None
+
+
+def history_allowed(
+    history: History, model: str, init_tid: Optional[str] = None
+) -> bool:
+    """``history ∈ HistM`` by direct execution search (ground truth)."""
+    if not history.is_internally_consistent():
+        return False
+    return find_execution(history, model, init_tid=init_tid) is not None
+
+
+def classify_history_by_executions(
+    history: History, init_tid: Optional[str] = None
+) -> Dict[str, bool]:
+    """Membership in all three models by direct execution search."""
+    return {
+        model: history_allowed(history, model, init_tid=init_tid)
+        for model in MODELS
+    }
+
+
+def find_execution_for_axioms(
+    history: History,
+    axioms: Sequence,
+    init_tid: Optional[str] = None,
+    require_session_order: bool = False,
+) -> Optional[AbstractExecution]:
+    """Search for an execution satisfying an *arbitrary* axiom set.
+
+    The fully general (and most expensive) enumeration: every SO
+    linearisation as CO, every subset of CO-predecessors as each
+    transaction's visibility set.  Unlike :func:`find_execution`, SO is
+    *not* forced into VIS (so the SESSION axiom itself can be ablated);
+    pass ``require_session_order=True`` to restore the pruning when
+    SESSION is among the axioms.
+
+    Used by the axiom-ablation study (bench E19): dropping one axiom of
+    SI at a time shows exactly which anomaly each axiom excludes.
+
+    Args:
+        history: the history (keep it at ≤ ~5 transactions).
+        axioms: :class:`repro.core.axioms.Axiom` objects to satisfy.
+        init_tid: optional initialisation transaction, forced CO-first and
+            globally visible.
+        require_session_order: force SO ⊆ VIS during enumeration (sound
+            only when SESSION is in ``axioms``; prunes aggressively).
+    """
+    init = history.by_tid(init_tid) if init_tid is not None else None
+    so = history.session_order
+    for commit_sequence in _so_linearisations(history):
+        if init is not None and commit_sequence[0] != init:
+            continue
+        co = Relation.total_order(commit_sequence)
+        per_txn: List[List[FrozenSet[Transaction]]] = []
+        for i, t in enumerate(commit_sequence):
+            forced: Set[Transaction] = set()
+            if init is not None and t != init:
+                forced.add(init)
+            if require_session_order:
+                forced |= {a for a, b in so if b == t}
+            optional = [
+                commit_sequence[j]
+                for j in range(i)
+                if commit_sequence[j] not in forced
+            ]
+            choices = []
+            for r in range(len(optional) + 1):
+                for combo in itertools.combinations(optional, r):
+                    choices.append(frozenset(forced) | frozenset(combo))
+            per_txn.append(choices)
+        for combo in itertools.product(*per_txn):
+            pairs = {
+                (a, t)
+                for t, sources in zip(commit_sequence, combo)
+                for a in sources
+            }
+            vis = Relation(pairs, history.transactions)
+            candidate = AbstractExecution(history, vis, co, validate=False)
+            if candidate.well_formedness_violations():
+                continue
+            if all(axiom.holds(candidate) for axiom in axioms):
+                return candidate
+    return None

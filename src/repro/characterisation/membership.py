@@ -1,0 +1,227 @@
+"""History-level membership: deciding ``H ∈ HistSI / HistSER / HistPSI``.
+
+Theorems 8, 9 and 21 reduce history membership to the existence of
+dependency relations extending the history into a graph of the right class:
+
+    HistM = { H | ∃ WR, WW, RW. (H, WR, WW, RW) ∈ GraphM }.
+
+This module enumerates all well-formed extensions (Definition 6) of a
+history — all choices of a writer for each external read that wrote the
+value read, and all total write orders per object — and tests the graph
+condition.  The search is exponential in the number of writers per object,
+but exact; it is the oracle against which the operational MVCC engine and
+the static analyses are validated on small histories.
+
+The paper's convention of a distinguished initialisation transaction is
+supported: when ``init_tid`` is given, write orders are restricted to place
+it first (it "precedes all the other transactions in VIS and CO").
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.events import Obj
+from ..core.histories import History
+from ..core.relations import Relation
+from ..core.transactions import Transaction
+from ..graphs.classify import in_graph_psi, in_graph_ser, in_graph_si
+from ..graphs.dependency import DependencyGraph
+
+GraphPredicate = Callable[[DependencyGraph], bool]
+
+GRAPH_CONDITIONS: Dict[str, GraphPredicate] = {
+    "SER": in_graph_ser,
+    "SI": in_graph_si,
+    "PSI": in_graph_psi,
+}
+
+
+@dataclass(frozen=True)
+class Decision:
+    """The outcome of a membership query.
+
+    Attributes:
+        allowed: whether some extension lies in the requested graph class.
+        witness: a witnessing dependency graph when ``allowed``.
+        graphs_explored: how many extensions were examined.
+    """
+
+    allowed: bool
+    witness: Optional[DependencyGraph]
+    graphs_explored: int
+
+
+def candidate_writers(
+    history: History, reader: Transaction, obj: Obj
+) -> List[Transaction]:
+    """Transactions eligible as the WR(x) source for ``reader``'s external
+    read of ``obj``: distinct writers whose final write matches the value
+    read (Definition 6's conditions on WR)."""
+    value = reader.external_read(obj)
+    return sorted(
+        (
+            t
+            for t in history.transactions
+            if t != reader and t.writes(obj) and t.final_write(obj) == value
+        ),
+        key=lambda t: t.tid,
+    )
+
+
+def _external_reads(history: History) -> List[Tuple[Transaction, Obj]]:
+    """All (transaction, object) pairs with an external read to resolve."""
+    out: List[Tuple[Transaction, Obj]] = []
+    for t in sorted(history.transactions, key=lambda t: t.tid):
+        for obj in sorted(t.external_read_objects):
+            out.append((t, obj))
+    return out
+
+
+def _write_orders(
+    writers: Sequence[Transaction], init_tid: Optional[str]
+) -> Iterator[Tuple[Transaction, ...]]:
+    """All candidate WW(x) linearisations; the initialisation transaction,
+    when present among the writers, is pinned to the front."""
+    writers = sorted(writers, key=lambda t: t.tid)
+    init = [t for t in writers if t.tid == init_tid]
+    rest = [t for t in writers if t.tid != init_tid]
+    if init:
+        for perm in itertools.permutations(rest):
+            yield (init[0], *perm)
+    else:
+        yield from itertools.permutations(writers)
+
+
+def extensions(
+    history: History,
+    init_tid: Optional[str] = None,
+    max_graphs: Optional[int] = None,
+) -> Iterator[DependencyGraph]:
+    """Lazily enumerate every well-formed dependency-graph extension of
+    ``history`` (Definition 6).
+
+    Args:
+        history: the history to extend; must be internally consistent for
+            any extension to be useful (callers check INT separately —
+            Definition 6 itself does not require it).
+        init_tid: optional id of the initialisation transaction, pinned
+            first in every WW(x).
+        max_graphs: optional hard cap on the number of yielded graphs
+            (guards against accidental exponential blow-ups in scripts).
+    """
+    universe = history.transactions
+    reads = _external_reads(history)
+    read_choices: List[List[Tuple[Transaction, Transaction, Obj]]] = []
+    for reader, obj in reads:
+        cands = candidate_writers(history, reader, obj)
+        if not cands:
+            return  # some read can never be satisfied: no extensions
+        read_choices.append([(w, reader, obj) for w in cands])
+
+    objs_with_writes = sorted(
+        obj for obj in history.objects if len(history.write_transactions(obj)) >= 1
+    )
+    ww_choices: List[List[Tuple[Obj, Tuple[Transaction, ...]]]] = []
+    for obj in objs_with_writes:
+        writers = history.write_transactions(obj)
+        orders = [(obj, order) for order in _write_orders(writers, init_tid)]
+        ww_choices.append(orders)
+
+    count = 0
+    for wr_combo in itertools.product(*read_choices):
+        wr: Dict[Obj, List[Tuple[Transaction, Transaction]]] = {}
+        for writer, reader, obj in wr_combo:
+            wr.setdefault(obj, []).append((writer, reader))
+        wr_rels = {
+            obj: Relation(pairs, universe) for obj, pairs in wr.items()
+        }
+        for ww_combo in itertools.product(*ww_choices):
+            ww_rels = {
+                obj: Relation.total_order(order).union(
+                    Relation.empty(universe)
+                )
+                for obj, order in ww_combo
+                if len(order) > 1
+            }
+            if max_graphs is not None and count >= max_graphs:
+                return
+            count += 1
+            yield DependencyGraph(history, wr_rels, ww_rels, validate=False)
+
+
+def decide(
+    history: History,
+    model: str,
+    init_tid: Optional[str] = None,
+    max_graphs: Optional[int] = None,
+) -> Decision:
+    """Decide ``history ∈ HistM`` for ``M ∈ {"SER", "SI", "PSI"}``.
+
+    Internally-inconsistent histories are rejected immediately (all three
+    graph classes require INT).
+    """
+    try:
+        condition = GRAPH_CONDITIONS[model]
+    except KeyError:
+        raise ValueError(
+            f"unknown model {model!r}; expected one of {sorted(GRAPH_CONDITIONS)}"
+        ) from None
+    if not history.is_internally_consistent():
+        return Decision(allowed=False, witness=None, graphs_explored=0)
+    explored = 0
+    for graph in extensions(history, init_tid=init_tid, max_graphs=max_graphs):
+        explored += 1
+        if condition(graph):
+            return Decision(allowed=True, witness=graph, graphs_explored=explored)
+    return Decision(allowed=False, witness=None, graphs_explored=explored)
+
+
+def history_in_si(
+    history: History, init_tid: Optional[str] = None
+) -> bool:
+    """``history ∈ HistSI`` via Theorem 9 (exact, exponential search)."""
+    return decide(history, "SI", init_tid=init_tid).allowed
+
+
+def history_in_ser(
+    history: History, init_tid: Optional[str] = None
+) -> bool:
+    """``history ∈ HistSER`` via Theorem 8."""
+    return decide(history, "SER", init_tid=init_tid).allowed
+
+
+def history_in_psi(
+    history: History, init_tid: Optional[str] = None
+) -> bool:
+    """``history ∈ HistPSI`` via Theorem 21."""
+    return decide(history, "PSI", init_tid=init_tid).allowed
+
+
+def classify_history(
+    history: History, init_tid: Optional[str] = None
+) -> Dict[str, bool]:
+    """Membership of the history in all three model classes."""
+    return {
+        model: decide(history, model, init_tid=init_tid).allowed
+        for model in GRAPH_CONDITIONS
+    }
+
+
+def search_space_size(history: History, init_tid: Optional[str] = None) -> int:
+    """The number of extensions :func:`extensions` would enumerate —
+    useful to guard scripts against explosive inputs."""
+    import math
+
+    size = 1
+    for reader, obj in _external_reads(history):
+        size *= max(1, len(candidate_writers(history, reader, obj)))
+    for obj in history.objects:
+        writers = history.write_transactions(obj)
+        n = len(writers)
+        if init_tid is not None and any(t.tid == init_tid for t in writers):
+            n -= 1
+        size *= max(1, math.factorial(n))
+    return size

@@ -1,0 +1,110 @@
+"""Transaction chopping under SI (Section 5, Appendix B).
+
+Splicing of histories and dependency graphs, the dynamic chopping graph
+and criterion (Theorem 16), the program DSL, and the static chopping
+analyses for SI (Corollary 18), serializability (Theorem 29) and parallel
+SI (Theorem 31).
+"""
+
+from .splice import (
+    is_spliceable_witness,
+    naive_splice_execution_co,
+    splice_graph,
+    splice_history,
+    splice_session,
+    spliced_tid,
+)
+from .criticality import (
+    Criterion,
+    antidependencies_separated,
+    at_most_one_antidependency,
+    find_critical_cycle,
+    find_critical_cycle_by_enumeration,
+    has_cpc_fragment,
+    is_critical,
+)
+from .dynamic import (
+    ChoppingVerdict,
+    check_chopping,
+    dynamic_chopping_graph,
+    is_spliceable_by_criterion,
+    splice_if_safe,
+)
+from .programs import (
+    PAPER_CHOPPINGS,
+    Piece,
+    Program,
+    lookup1_program,
+    lookup2_program,
+    lookup_all_program,
+    p1_programs,
+    p2_programs,
+    p3_programs,
+    p4_programs,
+    paper_chopping,
+    piece,
+    program,
+    replicate,
+    transfer_program,
+)
+from .static import (
+    PieceId,
+    StaticVerdict,
+    analyse_chopping,
+    chopping_correct_psi,
+    chopping_correct_ser,
+    chopping_correct_si,
+    chopping_matrix,
+    piece_nodes,
+    static_chopping_graph,
+)
+
+__all__ = [
+    # splice
+    "splice_history",
+    "splice_graph",
+    "splice_session",
+    "spliced_tid",
+    "naive_splice_execution_co",
+    "is_spliceable_witness",
+    # criticality
+    "Criterion",
+    "is_critical",
+    "has_cpc_fragment",
+    "antidependencies_separated",
+    "at_most_one_antidependency",
+    "find_critical_cycle",
+    "find_critical_cycle_by_enumeration",
+    # dynamic
+    "dynamic_chopping_graph",
+    "check_chopping",
+    "ChoppingVerdict",
+    "is_spliceable_by_criterion",
+    "splice_if_safe",
+    # programs
+    "Piece",
+    "piece",
+    "Program",
+    "program",
+    "replicate",
+    "transfer_program",
+    "lookup_all_program",
+    "lookup1_program",
+    "lookup2_program",
+    "p1_programs",
+    "p2_programs",
+    "p3_programs",
+    "p4_programs",
+    "paper_chopping",
+    "PAPER_CHOPPINGS",
+    # static
+    "PieceId",
+    "piece_nodes",
+    "static_chopping_graph",
+    "StaticVerdict",
+    "analyse_chopping",
+    "chopping_correct_si",
+    "chopping_correct_ser",
+    "chopping_correct_psi",
+    "chopping_matrix",
+]

@@ -1,0 +1,98 @@
+"""Dynamic chopping graphs and the dynamic chopping criterion (§5).
+
+Given a dependency graph ``G``, the *dynamic chopping graph* ``DCG(G)`` is
+obtained by:
+
+* removing WR/WW/RW edges between transactions of the same session
+  (``≈_G``-related) — those become internal to the spliced transaction;
+* adding, inside each session, *successor* edges (``SO_G``) and
+  *predecessor* edges (``SO_G^{-1}``);
+* keeping the remaining WR/WW/RW edges as *conflict* edges.
+
+Theorem 16 (the dynamic criterion): if ``DCG(G)`` contains no critical
+cycle, then ``G`` is spliceable — ``splice(G)`` is a well-formed dependency
+graph in GraphSI with history ``splice(H_G)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..core.events import Obj
+from ..core.relations import Relation
+from ..core.transactions import Transaction
+from ..graphs.cycles import Cycle, EdgeKind, LabeledDigraph, LabeledEdge
+from ..graphs.dependency import DependencyGraph
+from .criticality import Criterion, find_critical_cycle
+from .splice import splice_graph
+
+
+def dynamic_chopping_graph(graph: DependencyGraph) -> LabeledDigraph:
+    """Build ``DCG(G)`` as an edge-labelled multigraph over tids."""
+    history = graph.history
+    dcg = LabeledDigraph()
+    for t in history.transactions:
+        dcg.add_node(t.tid)
+    # Successor and predecessor edges within sessions.
+    for a, b in history.session_order:
+        dcg.add_edge(LabeledEdge(a.tid, b.tid, EdgeKind.SUCCESSOR))
+        dcg.add_edge(LabeledEdge(b.tid, a.tid, EdgeKind.PREDECESSOR))
+    # Conflict edges between sessions.
+    per_kind: Dict[EdgeKind, Dict[Obj, Relation[Transaction]]] = {
+        EdgeKind.WR: dict(graph.wr),
+        EdgeKind.WW: dict(graph.ww),
+        EdgeKind.RW: dict(graph.rw),
+    }
+    for kind, per_obj in per_kind.items():
+        for obj, rel in per_obj.items():
+            for a, b in rel:
+                if not history.same_session(a, b):
+                    dcg.add_edge(LabeledEdge(a.tid, b.tid, kind, obj))
+    return dcg
+
+
+@dataclass(frozen=True)
+class ChoppingVerdict:
+    """Outcome of the dynamic chopping check.
+
+    Attributes:
+        criterion: which variant was checked.
+        passes: True when no critical cycle exists (chopping safe).
+        witness: a critical cycle when one exists.
+    """
+
+    criterion: Criterion
+    passes: bool
+    witness: Optional[Cycle]
+
+    def __str__(self) -> str:
+        if self.passes:
+            return f"no {self.criterion.value}-critical cycle"
+        return f"{self.criterion.value}-critical cycle: {self.witness}"
+
+
+def check_chopping(
+    graph: DependencyGraph, criterion: Criterion = Criterion.SI
+) -> ChoppingVerdict:
+    """Theorem 16's criterion on a dependency graph (default SI variant)."""
+    dcg = dynamic_chopping_graph(graph)
+    witness = find_critical_cycle(dcg, criterion)
+    return ChoppingVerdict(criterion, witness is None, witness)
+
+
+def is_spliceable_by_criterion(graph: DependencyGraph) -> bool:
+    """True iff ``DCG(G)`` has no SI-critical cycle.
+
+    Sufficient for spliceability by Theorem 16 (not necessary: the
+    criterion is conservative).
+    """
+    return check_chopping(graph, Criterion.SI).passes
+
+
+def splice_if_safe(graph: DependencyGraph) -> Optional[DependencyGraph]:
+    """Apply Theorem 16 end-to-end: if the criterion passes, return the
+    spliced graph (guaranteed well-formed and in GraphSI); else ``None``."""
+    if not is_spliceable_by_criterion(graph):
+        return None
+    return splice_graph(graph, validate=True)

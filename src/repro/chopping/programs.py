@@ -1,0 +1,227 @@
+"""The program DSL for the static analyses (§5, §6).
+
+The static chopping analysis abstracts each program by the *read sets* and
+*write sets* of its pieces: ``P_i`` consists of ``k_i`` pieces, the ``j``-th
+having sets ``R_i^j`` and ``W_i^j`` over-approximating the objects it may
+read or write.  A *chopping* is a set of such programs, each representing
+one session obtained by chopping a single original transaction.
+
+Histories "produced by" a chopping have a one-to-one correspondence
+between sessions and programs; to model several concurrent instances of
+the same program, include it several times (see :func:`replicate`).
+
+The module also defines the example programs of Figures 4–6, 11 and 12,
+used by the benchmarks reproducing those figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Piece:
+    """One piece of a chopped program: its read and write sets.
+
+    Attributes:
+        reads: the set ``R_i^j`` of objects the piece may read.
+        writes: the set ``W_i^j`` of objects the piece may write.
+        label: an optional human-readable label (e.g. the source line,
+            as in the paper's figures); used in diagnostics only.
+    """
+
+    reads: FrozenSet[str]
+    writes: FrozenSet[str]
+    label: str = ""
+
+    def __str__(self) -> str:
+        if self.label:
+            return self.label
+        return f"R{sorted(self.reads)}/W{sorted(self.writes)}"
+
+
+def piece(
+    reads: Iterable[str] = (), writes: Iterable[str] = (), label: str = ""
+) -> Piece:
+    """Build a piece from read/write iterables."""
+    return Piece(frozenset(reads), frozenset(writes), label)
+
+
+@dataclass(frozen=True)
+class Program:
+    """A chopped program: a session template of pieces.
+
+    Attributes:
+        name: the program name (session identity in diagnostics).
+        pieces: the pieces, in session order.
+    """
+
+    name: str
+    pieces: Tuple[Piece, ...]
+
+    def __post_init__(self) -> None:
+        if not self.pieces:
+            raise ValueError(f"program {self.name!r} must have >= 1 piece")
+
+    def __len__(self) -> int:
+        return len(self.pieces)
+
+    @property
+    def reads(self) -> FrozenSet[str]:
+        """The union of the pieces' read sets."""
+        out: FrozenSet[str] = frozenset()
+        for p in self.pieces:
+            out |= p.reads
+        return out
+
+    @property
+    def writes(self) -> FrozenSet[str]:
+        """The union of the pieces' write sets."""
+        out: FrozenSet[str] = frozenset()
+        for p in self.pieces:
+            out |= p.writes
+        return out
+
+    def unchopped(self) -> "Program":
+        """The program as a single piece — the original transaction."""
+        return Program(
+            self.name,
+            (piece(self.reads, self.writes, label=f"{self.name} (whole)"),),
+        )
+
+
+def program(name: str, *pieces_: Piece) -> Program:
+    """Build a program from pieces."""
+    return Program(name, tuple(pieces_))
+
+
+def replicate(programs: Sequence[Program], copies: int) -> List[Program]:
+    """``copies`` instances of each program, renamed ``name#k``.
+
+    Use this to model several concurrent sessions running the same code:
+    the paper's histories "produced by P" map sessions to programs
+    one-to-one, so concurrency of a program with itself requires explicit
+    duplication.
+    """
+    out: List[Program] = []
+    for p in programs:
+        for k in range(copies):
+            out.append(Program(f"{p.name}#{k}", p.pieces))
+    return out
+
+
+# ----------------------------------------------------------------------
+# The paper's example programs
+# ----------------------------------------------------------------------
+
+
+def transfer_program() -> Program:
+    """Figure 4's ``transfer``, chopped into two pieces:
+    ``acct1 = acct1 - 100`` and ``acct2 = acct2 + 100``."""
+    return program(
+        "transfer",
+        piece({"acct1"}, {"acct1"}, label="acct1 = acct1 - 100"),
+        piece({"acct2"}, {"acct2"}, label="acct2 = acct2 + 100"),
+    )
+
+
+def lookup_all_program() -> Program:
+    """Figure 5's ``lookupAll``, chopped into two single-read pieces
+    (``var1 = acct1``; ``var2 = acct2``)."""
+    return program(
+        "lookupAll",
+        piece({"acct1"}, (), label="var1 = acct1"),
+        piece({"acct2"}, (), label="var2 = acct2"),
+    )
+
+
+def lookup1_program() -> Program:
+    """Figure 6's ``lookup1``: a single piece reading acct1."""
+    return program("lookup1", piece({"acct1"}, (), label="return acct1"))
+
+
+def lookup2_program() -> Program:
+    """Figure 6's ``lookup2``: a single piece reading acct2."""
+    return program("lookup2", piece({"acct2"}, (), label="return acct2"))
+
+
+def p1_programs() -> List[Program]:
+    """Figure 5's chopping ``P1 = {transfer, lookupAll}`` — incorrect
+    under SI (and under SER and PSI)."""
+    return [transfer_program(), lookup_all_program()]
+
+
+def p2_programs() -> List[Program]:
+    """Figure 6's chopping ``P2 = {transfer, lookup1, lookup2}`` — correct
+    under SI (and SER and PSI)."""
+    return [transfer_program(), lookup1_program(), lookup2_program()]
+
+
+def p3_programs() -> List[Program]:
+    """Figure 11's ``P3 = {write1, write2}`` — correct under SI but not
+    under serializability.
+
+    ``write1 = tx{var1 = x}; tx{y = var1}`` and
+    ``write2 = tx{var2 = y}; tx{x = var2}``.
+    """
+    return [
+        program(
+            "write1",
+            piece({"x"}, (), label="var1 = x"),
+            piece((), {"y"}, label="y = var1"),
+        ),
+        program(
+            "write2",
+            piece({"y"}, (), label="var2 = y"),
+            piece((), {"x"}, label="x = var2"),
+        ),
+    ]
+
+
+def p4_programs() -> List[Program]:
+    """Figure 12's ``P4 = {write1, write2, read1, read2}`` — correct under
+    PSI but not under SI.
+
+    ``write1 = tx{x = post1}``, ``write2 = tx{y = post2}``,
+    ``read1 = tx{a = y}; tx{b = x}``, ``read2 = tx{a = x}; tx{b = y}``.
+    """
+    return [
+        program("write1", piece((), {"x"}, label="x = post1")),
+        program("write2", piece((), {"y"}, label="y = post2")),
+        program(
+            "read1",
+            piece({"y"}, (), label="a = y"),
+            piece({"x"}, (), label="b = x"),
+        ),
+        program(
+            "read2",
+            piece({"x"}, (), label="a = x"),
+            piece({"y"}, (), label="b = y"),
+        ),
+    ]
+
+
+PAPER_CHOPPINGS: Dict[str, Tuple[str, ...]] = {
+    "P1": ("transfer", "lookupAll"),
+    "P2": ("transfer", "lookup1", "lookup2"),
+    "P3": ("write1", "write2"),
+    "P4": ("write1", "write2", "read1", "read2"),
+}
+"""Index of the paper's named choppings to their program names."""
+
+
+def paper_chopping(name: str) -> List[Program]:
+    """Fetch one of the paper's choppings (P1–P4) by name."""
+    table = {
+        "P1": p1_programs,
+        "P2": p2_programs,
+        "P3": p3_programs,
+        "P4": p4_programs,
+    }
+    try:
+        return table[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown chopping {name!r}; available: {sorted(table)}"
+        ) from None

@@ -1,0 +1,148 @@
+"""Splicing histories, dependency graphs, and (naively) executions (§5).
+
+Splicing merges all transactions of a session into one big transaction:
+
+* :func:`splice_history` — the paper's ``splice(H)``: each session becomes
+  a single transaction whose events are the session's events in session
+  order; the result has singleton sessions (``SO = ∅``).
+* :func:`splice_graph` — the paper's ``splice(G)``: dependencies are lifted
+  to spliced transactions (dropping intra-session edges); RW is re-derived
+  from the lifted WR/WW per Definition 5, as in the proof of Theorem 16.
+* :func:`naive_splice_execution_co` — the Appendix B.3 straw man: lifting
+  an execution's CO directly to spliced transactions.  For the Figure 13
+  execution this produces a *cyclic* "commit order", demonstrating why the
+  paper splices dependency graphs instead.
+
+A dependency graph ``G ∈ GraphSI`` is *spliceable* when some graph
+``G' ∈ GraphSI`` has ``H_{G'} = splice(H_G)``; Lemma 26 shows that when
+``DCG(G)`` has no critical cycles, ``splice_graph(G)`` is such a witness.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from ..core.events import Event, Obj
+from ..core.executions import PreExecution
+from ..core.histories import History
+from ..core.relations import Relation
+from ..core.transactions import Transaction
+from ..graphs.dependency import DependencyGraph
+
+
+def spliced_tid(history: History, session_index: int) -> str:
+    """The id of the transaction obtained by splicing a session: the
+    ``+``-join of the session's tids (deterministic and readable)."""
+    return "+".join(t.tid for t in history.sessions[session_index])
+
+
+def splice_session(history: History, session_index: int) -> Transaction:
+    """The paper's ``⌈T⌉_H``: the session's events concatenated in session
+    (and program) order into a single transaction."""
+    events = []
+    eid = 0
+    for t in history.sessions[session_index]:
+        for e in t.events:
+            events.append(Event(eid, e.op))
+            eid += 1
+    return Transaction(spliced_tid(history, session_index), tuple(events))
+
+
+def splice_history(history: History) -> History:
+    """The paper's ``splice(H)``: every session spliced into one
+    transaction; the resulting history has empty session order."""
+    spliced = tuple(
+        (splice_session(history, i),) for i in range(len(history.sessions))
+    )
+    return History(spliced)
+
+
+def _splice_map(history: History) -> Dict[Transaction, Transaction]:
+    """Map each original transaction to its spliced representative."""
+    mapping: Dict[Transaction, Transaction] = {}
+    for i, session in enumerate(history.sessions):
+        rep = splice_session(history, i)
+        for t in session:
+            mapping[t] = rep
+    return mapping
+
+
+def splice_graph(
+    graph: DependencyGraph, validate: bool = True
+) -> DependencyGraph:
+    """The paper's ``splice(G)`` (proof of Theorem 16).
+
+    WR and WW edges between transactions of *different* sessions are
+    lifted to the spliced transactions; intra-session dependencies vanish
+    into program order.  RW is re-derived from the lifted WR/WW
+    (Definition 5) — Lemma 17 shows this matches the lifted RW when
+    ``DCG(G)`` has no critical cycles.
+
+    Args:
+        graph: the dependency graph to splice.
+        validate: check Definition 6 on the result.  Lemma 26 guarantees
+            well-formedness when the dynamic chopping graph has no critical
+            cycles; pass ``False`` to inspect ill-formed results.
+    """
+    history = graph.history
+    mapping = _splice_map(history)
+    spliced_h = splice_history(history)
+
+    def lift(
+        per_obj: Dict[Obj, Relation[Transaction]]
+    ) -> Dict[Obj, Relation[Transaction]]:
+        lifted: Dict[Obj, Relation[Transaction]] = {}
+        for obj, rel in per_obj.items():
+            pairs: Set[Tuple[Transaction, Transaction]] = set()
+            for a, b in rel:
+                if history.same_session(a, b):
+                    continue
+                pairs.add((mapping[a], mapping[b]))
+            if pairs:
+                lifted[obj] = Relation(pairs, spliced_h.transactions)
+        return lifted
+
+    return DependencyGraph(
+        spliced_h, lift(dict(graph.wr)), lift(dict(graph.ww)), validate=validate
+    )
+
+
+def naive_splice_execution_co(
+    execution: PreExecution,
+) -> Relation[str]:
+    """Appendix B.3's naive lifting of an execution's commit order.
+
+    ``⌈T⌉ --CO--> ⌈S⌉`` iff some ``T' ≈ T`` and ``S' ≈ S`` satisfy
+    ``T' --CO--> S'`` (over spliced-transaction ids).  For executions whose
+    commit order interleaves sessions (Figure 13), the result is cyclic —
+    not a valid commit order — which is why splicing is defined on
+    dependency graphs.
+    """
+    history = execution.history
+    mapping = {t: rep.tid for t, rep in _splice_map(history).items()}
+    pairs: Set[Tuple[str, str]] = set()
+    for a, b in execution.co:
+        ra, rb = mapping[a], mapping[b]
+        if ra != rb:
+            pairs.add((ra, rb))
+    return Relation(pairs, set(mapping.values()))
+
+
+def is_spliceable_witness(
+    graph: DependencyGraph,
+) -> Optional[DependencyGraph]:
+    """Return ``splice(G)`` if it is a well-formed dependency graph in
+    GraphSI (a witness that ``G`` is spliceable), else ``None``.
+
+    This is the *semantic* check; the *criterion* of Theorem 16 (no
+    critical cycles in DCG(G)) lives in :mod:`repro.chopping.dynamic`.
+    """
+    from ..graphs.classify import in_graph_si
+
+    try:
+        spliced = splice_graph(graph, validate=True)
+    except Exception:
+        return None
+    if not in_graph_si(spliced):
+        return None
+    return spliced

@@ -1,0 +1,151 @@
+"""Static chopping graphs and the static chopping analyses (§5, App. B).
+
+The *static chopping graph* ``SCG(P)`` of a chopping ``P`` has a node per
+program piece ``(i, j)`` and edges:
+
+* successor — same program, ``j1 < j2``;
+* predecessor — same program, ``j1 > j2``;
+* read dependency (WR) — different programs, ``W_{i1}^{j1} ∩ R_{i2}^{j2} ≠ ∅``;
+* write dependency (WW) — different programs, ``W_{i1}^{j1} ∩ W_{i2}^{j2} ≠ ∅``;
+* anti-dependency (RW) — different programs, ``R_{i1}^{j1} ∩ W_{i2}^{j2} ≠ ∅``.
+
+``SCG(P)`` over-approximates the dynamic chopping graph of every
+dependency graph produced by ``P``, so the absence of critical cycles in
+it implies correctness of the chopping:
+
+* **Corollary 18** — no SI-critical cycle ⇒ correct under SI;
+* **Theorem 29** — no SER-critical cycle ⇒ correct under serializability;
+* **Theorem 31** — no PSI-critical cycle ⇒ correct under parallel SI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..graphs.cycles import Cycle, EdgeKind, LabeledDigraph, LabeledEdge
+from .criticality import Criterion, find_critical_cycle
+from .programs import Piece, Program
+
+PieceId = Tuple[str, int]
+"""A static-chopping-graph node: (program name, piece index)."""
+
+
+def piece_nodes(programs: Sequence[Program]) -> List[PieceId]:
+    """The nodes of SCG(P), in program order."""
+    _check_unique_names(programs)
+    return [
+        (p.name, j) for p in programs for j in range(len(p.pieces))
+    ]
+
+
+def _check_unique_names(programs: Sequence[Program]) -> None:
+    names = [p.name for p in programs]
+    if len(set(names)) != len(names):
+        raise ValueError(
+            f"program names must be unique (use replicate() for copies); "
+            f"got {names}"
+        )
+
+
+def static_chopping_graph(programs: Sequence[Program]) -> LabeledDigraph:
+    """Build ``SCG(P)`` as an edge-labelled multigraph over piece ids."""
+    _check_unique_names(programs)
+    scg = LabeledDigraph()
+    pieces: Dict[PieceId, Piece] = {}
+    for p in programs:
+        for j, pc in enumerate(p.pieces):
+            node = (p.name, j)
+            scg.add_node(node)
+            pieces[node] = pc
+    # Successor / predecessor edges inside each program.
+    for p in programs:
+        k = len(p.pieces)
+        for j1 in range(k):
+            for j2 in range(j1 + 1, k):
+                scg.add_edge(
+                    LabeledEdge((p.name, j1), (p.name, j2), EdgeKind.SUCCESSOR)
+                )
+                scg.add_edge(
+                    LabeledEdge((p.name, j2), (p.name, j1), EdgeKind.PREDECESSOR)
+                )
+    # Conflict edges between pieces of different programs.
+    nodes = list(pieces)
+    for n1 in nodes:
+        p1 = pieces[n1]
+        for n2 in nodes:
+            if n1[0] == n2[0]:
+                continue
+            p2 = pieces[n2]
+            for obj in sorted(p1.writes & p2.reads):
+                scg.add_edge(LabeledEdge(n1, n2, EdgeKind.WR, obj))
+            for obj in sorted(p1.writes & p2.writes):
+                scg.add_edge(LabeledEdge(n1, n2, EdgeKind.WW, obj))
+            for obj in sorted(p1.reads & p2.writes):
+                scg.add_edge(LabeledEdge(n1, n2, EdgeKind.RW, obj))
+    return scg
+
+
+@dataclass(frozen=True)
+class StaticVerdict:
+    """Outcome of a static chopping analysis.
+
+    Attributes:
+        criterion: the model variant checked.
+        correct: True when no critical cycle exists — the chopping is
+            correct under that model (sufficient condition).
+        witness: a critical cycle otherwise.
+    """
+
+    criterion: Criterion
+    correct: bool
+    witness: Optional[Cycle]
+
+    def __str__(self) -> str:
+        model = self.criterion.value
+        if self.correct:
+            return f"chopping correct under {model} (no critical cycle)"
+        return (
+            f"chopping not proven correct under {model}; "
+            f"critical cycle: {self.witness}"
+        )
+
+
+def analyse_chopping(
+    programs: Sequence[Program], criterion: Criterion = Criterion.SI
+) -> StaticVerdict:
+    """Run the static chopping analysis for the given criterion."""
+    scg = static_chopping_graph(programs)
+    witness = find_critical_cycle(scg, criterion)
+    return StaticVerdict(criterion, witness is None, witness)
+
+
+def chopping_correct_si(programs: Sequence[Program]) -> bool:
+    """Corollary 18: the chopping is correct under SI if SCG(P) has no
+    SI-critical cycle."""
+    return analyse_chopping(programs, Criterion.SI).correct
+
+
+def chopping_correct_ser(programs: Sequence[Program]) -> bool:
+    """Theorem 29: correctness under serializability (Shasha et al.'s
+    criterion, in the paper's improved form)."""
+    return analyse_chopping(programs, Criterion.SER).correct
+
+
+def chopping_correct_psi(programs: Sequence[Program]) -> bool:
+    """Theorem 31: correctness under parallel SI."""
+    return analyse_chopping(programs, Criterion.PSI).correct
+
+
+def chopping_matrix(
+    choppings: Dict[str, Sequence[Program]]
+) -> Dict[str, Dict[str, bool]]:
+    """Correctness of several choppings under all three criteria —
+    the comparison matrix of Appendix B (experiment E11)."""
+    out: Dict[str, Dict[str, bool]] = {}
+    for name, programs in choppings.items():
+        out[name] = {
+            criterion.value: analyse_chopping(programs, criterion).correct
+            for criterion in Criterion
+        }
+    return out

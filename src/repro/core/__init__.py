@@ -1,0 +1,137 @@
+"""Core model: events, transactions, histories, executions, axioms, models.
+
+This subpackage implements Section 2 of the paper: the client-visible
+objects (events, transactions, histories with sessions) and the declarative
+machinery used to specify consistency models (abstract executions with
+visibility and commit orders, the axioms of Figure 1, and the SI / SER /
+PSI models of Definitions 4 and 20).
+"""
+
+from .errors import (
+    InternalConsistencyError,
+    MalformedDependencyGraphError,
+    MalformedExecutionError,
+    MalformedHistoryError,
+    NotInGraphSIError,
+    ReproError,
+    ScheduleError,
+    SolverError,
+    StoreError,
+    TransactionAborted,
+)
+from .events import Event, Obj, Op, OpKind, Value, read, write
+from .relations import Relation, union_all
+from .transactions import (
+    Transaction,
+    all_internally_consistent,
+    check_internal_consistency,
+    initialisation_transaction,
+    read_only,
+    transaction,
+    write_only,
+)
+from .histories import (
+    History,
+    history,
+    single_session,
+    singleton_sessions,
+    with_initialisation,
+)
+from .executions import (
+    AbstractExecution,
+    PreExecution,
+    execution,
+    execution_from_commit_sequence,
+    pre_execution,
+)
+from .axioms import (
+    ALL_AXIOMS,
+    Axiom,
+    EXT,
+    INT,
+    NOCONFLICT,
+    PREFIX,
+    SESSION,
+    TOTALVIS,
+    TRANSVIS,
+)
+from .models import (
+    AXIOMATIC_MODELS,
+    MODELS,
+    PC,
+    PSI,
+    SER,
+    SI,
+    ConsistencyModel,
+    in_exec_psi,
+    in_exec_ser,
+    in_exec_si,
+    in_pre_exec_si,
+)
+
+__all__ = [
+    # errors
+    "ReproError",
+    "MalformedHistoryError",
+    "MalformedExecutionError",
+    "MalformedDependencyGraphError",
+    "InternalConsistencyError",
+    "NotInGraphSIError",
+    "SolverError",
+    "TransactionAborted",
+    "StoreError",
+    "ScheduleError",
+    # events
+    "Event",
+    "Obj",
+    "Op",
+    "OpKind",
+    "Value",
+    "read",
+    "write",
+    # relations
+    "Relation",
+    "union_all",
+    # transactions
+    "Transaction",
+    "transaction",
+    "read_only",
+    "write_only",
+    "initialisation_transaction",
+    "check_internal_consistency",
+    "all_internally_consistent",
+    # histories
+    "History",
+    "history",
+    "single_session",
+    "singleton_sessions",
+    "with_initialisation",
+    # executions
+    "AbstractExecution",
+    "PreExecution",
+    "execution",
+    "pre_execution",
+    "execution_from_commit_sequence",
+    # axioms
+    "Axiom",
+    "INT",
+    "EXT",
+    "SESSION",
+    "PREFIX",
+    "NOCONFLICT",
+    "TOTALVIS",
+    "TRANSVIS",
+    "ALL_AXIOMS",
+    # models
+    "ConsistencyModel",
+    "SI",
+    "SER",
+    "PSI",
+    "PC",
+    "MODELS",
+    "AXIOMATIC_MODELS",
+    "in_exec_si",
+    "in_exec_ser",
+    "in_exec_psi",
+    "in_pre_exec_si",
+]

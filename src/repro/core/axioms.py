@@ -1,0 +1,198 @@
+"""The consistency axioms of Figure 1 (plus TRANSVIS, Definition 20).
+
+Each axiom is a function from a (pre-)execution to a list of human-readable
+violation descriptions; an empty list means the axiom holds.  The axioms:
+
+* ``INT`` — internal consistency: a read preceded in its transaction by an
+  operation on the same object returns the last such value.
+* ``EXT`` — external consistency: a transaction ``T`` with ``T ⊢ read(x, n)``
+  reads from the CO-latest transaction among the writers of ``x`` visible
+  to ``T``.
+* ``SESSION`` — SO ⊆ VIS: snapshots include all preceding transactions of
+  the same session (strong session guarantee).
+* ``PREFIX`` — CO ; VIS ⊆ VIS: a snapshot including ``S`` includes every
+  transaction committing before ``S``.
+* ``NOCONFLICT`` — two distinct writers of the same object are related by
+  VIS one way or the other (write-conflict detection).
+* ``TOTALVIS`` — VIS totally orders the transactions (serializability).
+* ``TRANSVIS`` — VIS is transitive (used by parallel SI, Definition 20).
+
+An :class:`Axiom` bundles the checker with its name so consistency models
+(:mod:`repro.core.models`) can be declared as axiom sets, exactly as in
+Definition 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List
+
+from .executions import PreExecution
+from .transactions import Transaction
+
+
+@dataclass(frozen=True)
+class Axiom:
+    """A named consistency axiom over (pre-)executions."""
+
+    name: str
+    check: Callable[[PreExecution], List[str]]
+
+    def holds(self, execution: PreExecution) -> bool:
+        """True iff the axiom has no violations on ``execution``."""
+        return not self.check(execution)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+# ----------------------------------------------------------------------
+# INT
+# ----------------------------------------------------------------------
+
+
+def check_int(execution: PreExecution) -> List[str]:
+    """INT: each transaction is internally consistent (Figure 1)."""
+    violations: List[str] = []
+    for t in execution.history.transactions:
+        violations.extend(t.internal_violations())
+    return violations
+
+
+# ----------------------------------------------------------------------
+# EXT
+# ----------------------------------------------------------------------
+
+
+def check_ext(execution: PreExecution) -> List[str]:
+    """EXT: external reads return the CO-latest visible write (Figure 1).
+
+    For every ``T`` and ``x`` with ``T ⊢ read(x, n)``, the set
+    ``VIS^{-1}(T) ∩ WriteTx_x`` must be non-empty, have a CO-maximum, and
+    that maximum ``S`` must satisfy ``S ⊢ write(x, n)``.
+
+    Following the paper's simplification, an empty visible-writer set is a
+    violation (ensured in well-formed workloads by the initialisation
+    transaction).
+    """
+    violations: List[str] = []
+    history = execution.history
+    for t in sorted(history.transactions, key=lambda t: t.tid):
+        for obj in sorted(t.external_read_objects):
+            n = t.external_read(obj)
+            writers = execution.visible_writers(t, obj)
+            if not writers:
+                violations.append(
+                    f"EXT: {t.tid} reads {obj} but no visible "
+                    f"transaction writes it"
+                )
+                continue
+            try:
+                latest = execution.co.max_element(writers)
+            except ValueError:
+                violations.append(
+                    f"EXT: visible writers of {obj} for {t.tid} have no "
+                    f"CO-maximum: {sorted(w.tid for w in writers)}"
+                )
+                continue
+            written = latest.final_write(obj)
+            if written != n:
+                violations.append(
+                    f"EXT: {t.tid} reads {obj}={n!r} but the latest visible "
+                    f"writer {latest.tid} wrote {written!r}"
+                )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# SESSION
+# ----------------------------------------------------------------------
+
+
+def check_session(execution: PreExecution) -> List[str]:
+    """SESSION: SO ⊆ VIS (Figure 1)."""
+    missing = execution.session_order.pairs - execution.vis.pairs
+    return [
+        f"SESSION: {a.tid} --SO--> {b.tid} not in VIS"
+        for a, b in sorted(missing, key=lambda p: (p[0].tid, p[1].tid))
+    ]
+
+
+# ----------------------------------------------------------------------
+# PREFIX
+# ----------------------------------------------------------------------
+
+
+def check_prefix(execution: PreExecution) -> List[str]:
+    """PREFIX: CO ; VIS ⊆ VIS (Figure 1)."""
+    missing = execution.co.compose(execution.vis).pairs - execution.vis.pairs
+    return [
+        f"PREFIX: {a.tid} --CO;VIS--> {b.tid} not in VIS"
+        for a, b in sorted(missing, key=lambda p: (p[0].tid, p[1].tid))
+    ]
+
+
+# ----------------------------------------------------------------------
+# NOCONFLICT
+# ----------------------------------------------------------------------
+
+
+def check_noconflict(execution: PreExecution) -> List[str]:
+    """NOCONFLICT: distinct writers of an object are VIS-related (Figure 1)."""
+    violations: List[str] = []
+    history = execution.history
+    vis = execution.vis
+    for obj in sorted(history.objects):
+        writers = sorted(history.write_transactions(obj), key=lambda t: t.tid)
+        for i, a in enumerate(writers):
+            for b in writers[i + 1 :]:
+                if (a, b) not in vis and (b, a) not in vis:
+                    violations.append(
+                        f"NOCONFLICT: {a.tid} and {b.tid} both write {obj} "
+                        f"but are unrelated by VIS"
+                    )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# TOTALVIS
+# ----------------------------------------------------------------------
+
+
+def check_totalvis(execution: PreExecution) -> List[str]:
+    """TOTALVIS: VIS is total over the transactions (serializability)."""
+    violations: List[str] = []
+    vis = execution.vis
+    txns = sorted(execution.history.transactions, key=lambda t: t.tid)
+    for i, a in enumerate(txns):
+        for b in txns[i + 1 :]:
+            if (a, b) not in vis and (b, a) not in vis:
+                violations.append(
+                    f"TOTALVIS: {a.tid} and {b.tid} unrelated by VIS"
+                )
+    return violations
+
+
+# ----------------------------------------------------------------------
+# TRANSVIS
+# ----------------------------------------------------------------------
+
+
+def check_transvis(execution: PreExecution) -> List[str]:
+    """TRANSVIS: VIS is transitive (parallel SI, Definition 20)."""
+    missing = execution.vis.compose(execution.vis).pairs - execution.vis.pairs
+    return [
+        f"TRANSVIS: {a.tid} --VIS;VIS--> {b.tid} not in VIS"
+        for a, b in sorted(missing, key=lambda p: (p[0].tid, p[1].tid))
+    ]
+
+
+INT = Axiom("INT", check_int)
+EXT = Axiom("EXT", check_ext)
+SESSION = Axiom("SESSION", check_session)
+PREFIX = Axiom("PREFIX", check_prefix)
+NOCONFLICT = Axiom("NOCONFLICT", check_noconflict)
+TOTALVIS = Axiom("TOTALVIS", check_totalvis)
+TRANSVIS = Axiom("TRANSVIS", check_transvis)
+
+ALL_AXIOMS = (INT, EXT, SESSION, PREFIX, NOCONFLICT, TOTALVIS, TRANSVIS)

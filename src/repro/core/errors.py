@@ -1,0 +1,88 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All exceptions raised by the library derive from :class:`ReproError`, so a
+caller can catch everything coming out of the reproduction code with a single
+``except`` clause while still being able to discriminate the failure mode.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class MalformedHistoryError(ReproError):
+    """A history violates the well-formedness conditions of Definition 2.
+
+    Examples: two sessions share a transaction, a transaction appears twice
+    in a session, or duplicate transaction identifiers exist.
+    """
+
+
+class MalformedExecutionError(ReproError):
+    """An abstract (pre-)execution violates Definition 3 / Definition 11.
+
+    Examples: VIS not included in CO, CO not a strict (total) order, or a
+    relation mentioning transactions that are not part of the history.
+    """
+
+
+class MalformedDependencyGraphError(ReproError):
+    """A dependency graph violates the conditions of Definition 6.
+
+    Examples: a WR(x) edge whose source did not write ``x`` or whose target
+    does not read the written value, a read without a WR source, two WR(x)
+    sources for the same read, or WW(x) not a total order over the writers
+    of ``x``.
+    """
+
+
+class InternalConsistencyError(ReproError):
+    """A set of transactions violates the INT axiom (Figure 1)."""
+
+
+class NotInGraphSIError(ReproError):
+    """Raised when a construction requires ``G in GraphSI`` but the input
+    dependency graph contains a cycle without two adjacent anti-dependency
+    edges (Theorem 9)."""
+
+
+class SolverError(ReproError):
+    """The inequality solver (Lemma 15) was used outside its preconditions,
+    e.g. asked to totalise a commit order whose closure became cyclic."""
+
+
+class TransactionAborted(ReproError):
+    """An MVCC transaction failed its commit-time validation.
+
+    For the SI engine this corresponds to the first-committer-wins
+    write-conflict check; for the serializable engine it additionally covers
+    read-set invalidation.  Clients following the retry discipline of
+    Section 5 catch this and resubmit the transaction.
+    """
+
+    def __init__(self, tid: str, reason: str):
+        super().__init__(f"transaction {tid!r} aborted: {reason}")
+        self.tid = tid
+        self.reason = reason
+
+
+class StoreError(ReproError):
+    """Misuse of the multi-version store or a transaction handle, e.g.
+    operating on a transaction that already committed or aborted."""
+
+
+class SnapshotTooOld(StoreError):
+    """A snapshot read needs a version that garbage collection discarded.
+
+    The multi-version store's analogue of Oracle's ORA-01555: after
+    aggressive vacuuming, a long-running transaction's snapshot timestamp
+    may predate the oldest retained version of an object.  The SI engine
+    converts this into an abort-and-retry.
+    """
+
+
+class ScheduleError(ReproError):
+    """The deterministic scheduler was given an invalid schedule, e.g. a
+    step index for a client that has already finished."""

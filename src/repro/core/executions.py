@@ -1,0 +1,209 @@
+"""Abstract executions and pre-executions (Definitions 3 and 11).
+
+An *abstract execution* extends a history with two relations that
+declaratively describe how the transactional system processed the
+transactions:
+
+* ``VIS`` (visibility): ``T --VIS--> S`` means the writes of ``T`` are
+  included in the snapshot taken by ``S``;
+* ``CO`` (commit order): ``T --CO--> S`` means ``T`` commits before ``S``.
+
+Definition 3 requires VIS ⊆ CO, with CO a strict *total* order.
+Definition 11 relaxes totality: a *pre-execution* only requires CO to be a
+strict partial order.  The soundness construction of Theorem 10(i) works
+through a chain of pre-executions whose commit orders grow until total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from .errors import MalformedExecutionError
+from .histories import History
+from .relations import Relation
+from .transactions import Transaction
+
+
+@dataclass(frozen=True)
+class PreExecution:
+    """A pre-execution ``P = (T, SO, VIS, CO)`` (Definition 11).
+
+    CO is a strict partial order containing VIS; it need not be total.
+    Construct with ``validate=False`` to skip the well-formedness checks
+    (used internally by hot loops that guarantee them by construction).
+    """
+
+    history: History
+    vis: Relation[Transaction]
+    co: Relation[Transaction]
+    validate: bool = field(default=True, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.validate:
+            self.check_well_formed()
+
+    # ------------------------------------------------------------------
+    # Well-formedness (Definitions 3 / 11, minus totality)
+    # ------------------------------------------------------------------
+
+    def well_formedness_violations(self) -> List[str]:
+        """Describe violations of the pre-execution conditions."""
+        violations: List[str] = []
+        txns = self.history.transactions
+        for name, rel in (("VIS", self.vis), ("CO", self.co)):
+            stray = rel.field - txns
+            if stray:
+                violations.append(
+                    f"{name} mentions transactions outside the history: "
+                    f"{sorted(t.tid for t in stray)}"
+                )
+            if not rel.is_irreflexive():
+                violations.append(f"{name} is not irreflexive")
+        # CO must be a strict partial order (total orders are checked by
+        # AbstractExecution).  VIS need only be irreflexive and included in
+        # CO: transitivity of VIS is an *axiom* (TRANSVIS; for SI it follows
+        # from PREFIX and VIS ⊆ CO), not a well-formedness condition.
+        if not self.co.is_transitive():
+            violations.append("CO is not transitive")
+        if not self.co.is_acyclic():
+            violations.append("CO is cyclic")
+        if not self.vis.pairs <= self.co.pairs:
+            violations.append("VIS is not included in CO")
+        return violations
+
+    def check_well_formed(self) -> None:
+        """Raise :class:`MalformedExecutionError` on any violation."""
+        violations = self.well_formedness_violations()
+        if violations:
+            raise MalformedExecutionError("; ".join(violations))
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    @property
+    def transactions(self) -> FrozenSet[Transaction]:
+        """The transactions of the underlying history."""
+        return self.history.transactions
+
+    @property
+    def session_order(self) -> Relation[Transaction]:
+        """The session order SO of the underlying history."""
+        return self.history.session_order
+
+    def visible_writers(self, s: Transaction, obj: str) -> FrozenSet[Transaction]:
+        """``VIS^{-1}(S) ∩ WriteTx_x``: the writers of ``obj`` visible to
+        ``s`` — the candidate set in the EXT axiom."""
+        return self.vis.predecessors(s) & self.history.write_transactions(obj)
+
+    def co_is_total(self) -> bool:
+        """True iff CO totally orders the history's transactions."""
+        return self.co.is_total_on(self.history.transactions)
+
+    def as_execution(self) -> "AbstractExecution":
+        """Promote to an abstract execution; CO must already be total."""
+        return AbstractExecution(self.history, self.vis, self.co)
+
+    def describe(self) -> str:
+        """Human-readable rendering (history plus relation edges)."""
+        lines = [self.history.describe()]
+        lines.append(
+            "VIS: " + ", ".join(
+                f"{a.tid}->{b.tid}" for a, b in sorted(self.vis, key=repr)
+            )
+        )
+        lines.append(
+            "CO:  " + ", ".join(
+                f"{a.tid}->{b.tid}" for a, b in sorted(self.co, key=repr)
+            )
+        )
+        return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class AbstractExecution(PreExecution):
+    """An abstract execution ``X = (T, SO, VIS, CO)`` (Definition 3).
+
+    In addition to the pre-execution conditions, CO must be a strict total
+    order over the history's transactions.
+    """
+
+    def well_formedness_violations(self) -> List[str]:
+        """Pre-execution conditions plus totality of CO (Definition 3)."""
+        violations = super().well_formedness_violations()
+        if not self.co.is_total_on(self.history.transactions):
+            violations.append("CO is not total over the history's transactions")
+        return violations
+
+    @property
+    def commit_sequence(self) -> List[Transaction]:
+        """The transactions listed in commit order (CO linearised)."""
+        remaining = set(self.history.transactions)
+        out: List[Transaction] = []
+        co = self.co
+        while remaining:
+            t = co.min_element(remaining)
+            out.append(t)
+            remaining.remove(t)
+        return out
+
+
+def execution(
+    history: History,
+    vis: Iterable[Tuple[Transaction, Transaction]],
+    co: Iterable[Tuple[Transaction, Transaction]],
+    transitively_close: bool = True,
+) -> AbstractExecution:
+    """Convenience constructor for an abstract execution.
+
+    Args:
+        history: the underlying history.
+        vis: visibility edges (will be transitively closed when
+            ``transitively_close``; Definition 3 plus PREFIX make VIS
+            transitive in all models we study).
+        co: commit-order edges; closed transitively likewise.
+        transitively_close: close both relations before validation.
+    """
+    universe = history.transactions
+    vis_rel: Relation[Transaction] = Relation(vis, universe)
+    co_rel: Relation[Transaction] = Relation(co, universe)
+    if transitively_close:
+        vis_rel = vis_rel.transitive_closure()
+        co_rel = co_rel.transitive_closure()
+    return AbstractExecution(history, vis_rel, co_rel)
+
+
+def pre_execution(
+    history: History,
+    vis: Iterable[Tuple[Transaction, Transaction]],
+    co: Iterable[Tuple[Transaction, Transaction]],
+    transitively_close: bool = True,
+) -> PreExecution:
+    """Convenience constructor for a pre-execution (Definition 11)."""
+    universe = history.transactions
+    vis_rel: Relation[Transaction] = Relation(vis, universe)
+    co_rel: Relation[Transaction] = Relation(co, universe)
+    if transitively_close:
+        vis_rel = vis_rel.transitive_closure()
+        co_rel = co_rel.transitive_closure()
+    return PreExecution(history, vis_rel, co_rel)
+
+
+def execution_from_commit_sequence(
+    history: History,
+    commit_sequence: List[Transaction],
+    vis: Optional[Iterable[Tuple[Transaction, Transaction]]] = None,
+) -> AbstractExecution:
+    """Build an execution whose CO is the total order of ``commit_sequence``.
+
+    When ``vis`` is omitted, VIS is taken equal to CO — the *serial* reading
+    where every transaction sees all previously-committed ones (this always
+    satisfies PREFIX and TOTALVIS; whether EXT holds depends on values).
+    """
+    co_rel: Relation[Transaction] = Relation.total_order(commit_sequence)
+    if vis is None:
+        vis_rel = co_rel
+    else:
+        vis_rel = Relation(vis, history.transactions).transitive_closure()
+    return AbstractExecution(history, vis_rel, co_rel)

@@ -1,0 +1,170 @@
+"""Histories and sessions (Definition 2).
+
+A history is a set of transactions together with a *session order* SO: the
+union of total orders on disjoint groups of transactions (the sessions).  We
+represent a history concretely as a tuple of sessions, each session being a
+program-ordered tuple of transactions; SO is derived.
+
+Transactions in a history must carry pairwise-distinct tids (they are
+distinct set elements in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import (
+    Dict,
+    FrozenSet,
+    Iterable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from .errors import MalformedHistoryError
+from .events import Obj, Value
+from .relations import Relation
+from .transactions import Transaction, all_internally_consistent
+
+
+@dataclass(frozen=True)
+class History:
+    """A history ``H = (T, SO)``.
+
+    Attributes:
+        sessions: the sessions; each is a non-empty tuple of transactions in
+            session order.  SO relates earlier to later transactions within
+            a session.
+    """
+
+    sessions: Tuple[Tuple[Transaction, ...], ...] = field()
+
+    def __post_init__(self) -> None:
+        seen: Set[str] = set()
+        for session in self.sessions:
+            if not session:
+                raise MalformedHistoryError("history contains an empty session")
+            for t in session:
+                if t.tid in seen:
+                    raise MalformedHistoryError(
+                        f"duplicate transaction id {t.tid!r} in history"
+                    )
+                seen.add(t.tid)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    @property
+    def transactions(self) -> FrozenSet[Transaction]:
+        """The set of transactions ``T`` of the history."""
+        return frozenset(t for session in self.sessions for t in session)
+
+    @property
+    def transaction_list(self) -> List[Transaction]:
+        """The transactions in a deterministic (session-major) order."""
+        return [t for session in self.sessions for t in session]
+
+    def __len__(self) -> int:
+        return sum(len(session) for session in self.sessions)
+
+    def __contains__(self, t: Transaction) -> bool:
+        return any(t in session for session in self.sessions)
+
+    def by_tid(self, tid: str) -> Transaction:
+        """Look up a transaction by identifier."""
+        for session in self.sessions:
+            for t in session:
+                if t.tid == tid:
+                    return t
+        raise KeyError(tid)
+
+    @property
+    def session_order(self) -> Relation[Transaction]:
+        """The session order SO: a union of total orders, one per session."""
+        pairs: Set[Tuple[Transaction, Transaction]] = set()
+        for session in self.sessions:
+            for i, a in enumerate(session):
+                for b in session[i + 1 :]:
+                    pairs.add((a, b))
+        return Relation(pairs, self.transactions)
+
+    def session_of(self, t: Transaction) -> int:
+        """The index of the session containing ``t``."""
+        for i, session in enumerate(self.sessions):
+            if t in session:
+                return i
+        raise KeyError(t.tid)
+
+    def same_session(self, a: Transaction, b: Transaction) -> bool:
+        """The equivalence ``a ≈_H b``: same session (or same transaction).
+
+        This is the relation ``SO ∪ SO^{-1} ∪ id`` used by the chopping
+        analysis of Section 5.
+        """
+        return self.session_of(a) == self.session_of(b)
+
+    # ------------------------------------------------------------------
+    # Object-level views
+    # ------------------------------------------------------------------
+
+    @property
+    def objects(self) -> FrozenSet[Obj]:
+        """All objects accessed by any transaction."""
+        objs: Set[Obj] = set()
+        for t in self.transactions:
+            objs |= t.objects
+        return frozenset(objs)
+
+    def write_transactions(self, obj: Obj) -> FrozenSet[Transaction]:
+        """The paper's ``WriteTx_x``: transactions writing to ``obj``."""
+        return frozenset(t for t in self.transactions if t.writes(obj))
+
+    # ------------------------------------------------------------------
+    # Properties
+    # ------------------------------------------------------------------
+
+    def is_internally_consistent(self) -> bool:
+        """``T_H ⊨ INT``: every transaction is internally consistent."""
+        return all_internally_consistent(self.transactions)
+
+    def describe(self) -> str:
+        """A human-readable multi-line rendering of the history."""
+        lines: List[str] = []
+        for i, session in enumerate(self.sessions):
+            lines.append(f"session {i}:")
+            for t in session:
+                lines.append(f"  {t!r}")
+        return "\n".join(lines)
+
+
+def history(*sessions: Sequence[Transaction]) -> History:
+    """Build a history from sessions given as sequences of transactions.
+
+    Example::
+
+        h = history([t1, t2], [t3])   # two sessions
+    """
+    return History(tuple(tuple(s) for s in sessions))
+
+
+def single_session(*transactions_: Transaction) -> History:
+    """A history with all transactions in one session."""
+    return History((tuple(transactions_),))
+
+
+def singleton_sessions(*transactions_: Transaction) -> History:
+    """A history where every transaction is its own session (SO = ∅)."""
+    return History(tuple((t,) for t in transactions_))
+
+
+def with_initialisation(h: History, init: Transaction) -> History:
+    """Add an initialisation transaction as its own session.
+
+    The initialisation transaction plays the role of the paper's special
+    transaction writing the initial versions of all objects.
+    """
+    return History(((init,),) + h.sessions)

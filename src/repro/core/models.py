@@ -1,0 +1,127 @@
+"""Consistency models as axiom sets (Definitions 4 and 20).
+
+A consistency model is a named set of axioms; an abstract execution belongs
+to the model's execution set iff it satisfies all of them, and a history is
+allowed by the model iff *some* extension with VIS/CO satisfies them:
+
+* ``SI``  = {INT, EXT, SESSION, PREFIX, NOCONFLICT}      (ExecSI, Def. 4)
+* ``SER`` = {INT, EXT, SESSION, TOTALVIS}                (ExecSER, Def. 4)
+* ``PSI`` = {INT, EXT, SESSION, TRANSVIS, NOCONFLICT}    (ExecPSI, Def. 20)
+
+Deciding *history*-level membership (HistSI etc.) requires searching over
+the extensions; that decision procedure lives in
+:mod:`repro.characterisation.membership`, which exploits the dependency
+graph characterisations (Theorems 8, 9, 21) instead of enumerating VIS/CO
+directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .axioms import (
+    Axiom,
+    EXT,
+    INT,
+    NOCONFLICT,
+    PREFIX,
+    SESSION,
+    TOTALVIS,
+    TRANSVIS,
+)
+from .executions import AbstractExecution, PreExecution
+
+
+@dataclass(frozen=True)
+class ConsistencyModel:
+    """A consistency model: a name plus the axioms of Figure 1 it imposes."""
+
+    name: str
+    axioms: Tuple[Axiom, ...]
+
+    def violations(self, execution: PreExecution) -> Dict[str, List[str]]:
+        """Map each violated axiom name to its list of violations."""
+        out: Dict[str, List[str]] = {}
+        for axiom in self.axioms:
+            found = axiom.check(execution)
+            if found:
+                out[axiom.name] = found
+        return out
+
+    def satisfied_by(self, execution: PreExecution) -> bool:
+        """True iff ``execution`` satisfies every axiom of the model.
+
+        For :class:`AbstractExecution` inputs this decides membership in
+        the model's execution set (e.g. ExecSI); for pre-executions it
+        decides membership in the pre-execution set (e.g. PreExecSI of
+        Definition 11).
+        """
+        return all(axiom.holds(execution) for axiom in self.axioms)
+
+    def explain(self, execution: PreExecution) -> str:
+        """A one-line verdict plus any violations, for diagnostics."""
+        violations = self.violations(execution)
+        if not violations:
+            return f"execution satisfies {self.name}"
+        lines = [f"execution violates {self.name}:"]
+        for axiom, items in violations.items():
+            for item in items:
+                lines.append(f"  [{axiom}] {item}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+SI = ConsistencyModel("SI", (INT, EXT, SESSION, PREFIX, NOCONFLICT))
+"""(Strong session) snapshot isolation — ExecSI of Definition 4."""
+
+SER = ConsistencyModel("SER", (INT, EXT, SESSION, TOTALVIS))
+"""(Strong session) serializability — ExecSER of Definition 4."""
+
+PSI = ConsistencyModel("PSI", (INT, EXT, SESSION, TRANSVIS, NOCONFLICT))
+"""Parallel snapshot isolation — ExecPSI of Definition 20."""
+
+PC = ConsistencyModel("PC", (INT, EXT, SESSION, PREFIX))
+"""Prefix consistency — SI without write-conflict detection.
+
+Not defined in the paper's main development, but it is the model its §7
+names as the natural next target for the commit-order-construction
+technique ("prefix consistency [33]").  Dropping NOCONFLICT admits the
+lost update (concurrent writers need not see each other) while PREFIX
+still forbids the long fork; write skew remains allowed.  PC has no
+dependency-graph characterisation here (that is precisely the open
+problem §7 points at), so membership is decided only by the direct
+execution search (:func:`repro.characterisation.exec_search`).
+"""
+
+MODELS: Dict[str, ConsistencyModel] = {m.name: m for m in (SI, SER, PSI)}
+"""The paper's three models — the ones with dependency-graph
+characterisations (Theorems 8, 9, 21)."""
+
+AXIOMATIC_MODELS: Dict[str, ConsistencyModel] = {
+    m.name: m for m in (SI, SER, PSI, PC)
+}
+"""All axiomatically-specified models, including extensions without a
+known graph characterisation (decidable only by execution search)."""
+
+
+def in_exec_si(execution: AbstractExecution) -> bool:
+    """``execution ∈ ExecSI`` (Definition 4)."""
+    return SI.satisfied_by(execution)
+
+
+def in_exec_ser(execution: AbstractExecution) -> bool:
+    """``execution ∈ ExecSER`` (Definition 4)."""
+    return SER.satisfied_by(execution)
+
+
+def in_exec_psi(execution: AbstractExecution) -> bool:
+    """``execution ∈ ExecPSI`` (Definition 20)."""
+    return PSI.satisfied_by(execution)
+
+
+def in_pre_exec_si(pre: PreExecution) -> bool:
+    """``pre ∈ PreExecSI`` (Definition 11)."""
+    return SI.satisfied_by(pre)

@@ -1,0 +1,489 @@
+"""A small algebra of finite binary relations.
+
+The paper's proofs manipulate relations over transactions with union,
+relational (sequential) composition ``;``, inverses, reflexive closure
+``R? = R ∪ id``, transitive closure ``R+`` and reflexive-transitive closure
+``R*``, together with predicates such as acyclicity, irreflexivity and
+totality.  This module implements exactly that vocabulary over finite sets of
+hashable elements, so the code of the characterisation (Lemma 15,
+Theorem 10) can be written as a direct transcription of the paper.
+
+:class:`Relation` is immutable; every operation returns a fresh relation.
+A relation optionally carries a *universe* — the carrier set over which
+identity-dependent operations (``reflexive``, ``is_total_on`` with no
+argument, complements) are interpreted.  Unions and compositions merge
+universes.
+
+The implementation favours clarity over asymptotic cleverness, but closures
+use breadth-first reachability per source node (O(V·E)), which comfortably
+handles the graph sizes used in the analyses and benchmarks (thousands of
+transactions).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import (
+    AbstractSet,
+    Callable,
+    Dict,
+    FrozenSet,
+    Generic,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    TypeVar,
+)
+
+T = TypeVar("T", bound=Hashable)
+
+Pair = Tuple[T, T]
+
+
+class Relation(Generic[T]):
+    """An immutable finite binary relation over hashable elements.
+
+    Args:
+        pairs: the pairs ``(a, b)`` meaning ``a R b``.
+        universe: optional carrier set; defaults to the field (elements
+            appearing in some pair).  Operations that need identity edges
+            (``reflexive``, ``reflexive_transitive_closure``) use it.
+    """
+
+    __slots__ = ("_pairs", "_universe", "_succ", "_pred")
+
+    def __init__(
+        self,
+        pairs: Iterable[Pair] = (),
+        universe: Optional[Iterable[T]] = None,
+    ):
+        self._pairs: FrozenSet[Pair] = frozenset(pairs)
+        field: Set[T] = set()
+        for a, b in self._pairs:
+            field.add(a)
+            field.add(b)
+        if universe is None:
+            self._universe: FrozenSet[T] = frozenset(field)
+        else:
+            self._universe = frozenset(universe) | frozenset(field)
+        self._succ: Optional[Dict[T, Set[T]]] = None
+        self._pred: Optional[Dict[T, Set[T]]] = None
+
+    # ------------------------------------------------------------------
+    # Basic container protocol
+    # ------------------------------------------------------------------
+
+    @property
+    def pairs(self) -> FrozenSet[Pair]:
+        """The set of pairs of the relation."""
+        return self._pairs
+
+    @property
+    def universe(self) -> FrozenSet[T]:
+        """The carrier set (always a superset of the field)."""
+        return self._universe
+
+    @property
+    def field(self) -> FrozenSet[T]:
+        """Elements that appear in at least one pair."""
+        elems: Set[T] = set()
+        for a, b in self._pairs:
+            elems.add(a)
+            elems.add(b)
+        return frozenset(elems)
+
+    def __contains__(self, pair: Pair) -> bool:
+        return pair in self._pairs
+
+    def __iter__(self) -> Iterator[Pair]:
+        return iter(self._pairs)
+
+    def __len__(self) -> int:
+        return len(self._pairs)
+
+    def __bool__(self) -> bool:
+        return bool(self._pairs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Relation):
+            return NotImplemented
+        return self._pairs == other._pairs
+
+    def __hash__(self) -> int:
+        return hash(self._pairs)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(
+            f"({a!r}, {b!r})" for a, b in sorted(self._pairs, key=repr)
+        )
+        return f"Relation({{{inner}}})"
+
+    # ------------------------------------------------------------------
+    # Adjacency views (cached)
+    # ------------------------------------------------------------------
+
+    def successors_map(self) -> Dict[T, Set[T]]:
+        """Adjacency map ``a -> {b | a R b}`` (cached, do not mutate)."""
+        if self._succ is None:
+            succ: Dict[T, Set[T]] = {}
+            for a, b in self._pairs:
+                succ.setdefault(a, set()).add(b)
+            self._succ = succ
+        return self._succ
+
+    def predecessors_map(self) -> Dict[T, Set[T]]:
+        """Adjacency map ``b -> {a | a R b}`` (cached, do not mutate)."""
+        if self._pred is None:
+            pred: Dict[T, Set[T]] = {}
+            for a, b in self._pairs:
+                pred.setdefault(b, set()).add(a)
+            self._pred = pred
+        return self._pred
+
+    def successors(self, a: T) -> FrozenSet[T]:
+        """The image ``R(a) = {b | a R b}``."""
+        return frozenset(self.successors_map().get(a, set()))
+
+    def predecessors(self, b: T) -> FrozenSet[T]:
+        """The pre-image ``R^{-1}(b) = {a | a R b}`` (paper's notation)."""
+        return frozenset(self.predecessors_map().get(b, set()))
+
+    # ------------------------------------------------------------------
+    # Algebra
+    # ------------------------------------------------------------------
+
+    def union(self, *others: "Relation[T]") -> "Relation[T]":
+        """Union of this relation with ``others``; universes are merged."""
+        pairs: Set[Pair] = set(self._pairs)
+        universe: Set[T] = set(self._universe)
+        for other in others:
+            pairs |= other._pairs
+            universe |= other._universe
+        return Relation(pairs, universe)
+
+    def __or__(self, other: "Relation[T]") -> "Relation[T]":
+        return self.union(other)
+
+    def intersection(self, other: "Relation[T]") -> "Relation[T]":
+        """Intersection of two relations."""
+        return Relation(self._pairs & other._pairs, self._universe | other._universe)
+
+    def __and__(self, other: "Relation[T]") -> "Relation[T]":
+        return self.intersection(other)
+
+    def difference(self, other: "Relation[T]") -> "Relation[T]":
+        """Pairs of this relation not in ``other``."""
+        return Relation(self._pairs - other._pairs, self._universe)
+
+    def __sub__(self, other: "Relation[T]") -> "Relation[T]":
+        return self.difference(other)
+
+    def compose(self, other: "Relation[T]") -> "Relation[T]":
+        """Sequential composition ``self ; other``.
+
+        ``(a, b) ∈ self ; other`` iff there exists ``c`` with
+        ``(a, c) ∈ self`` and ``(c, b) ∈ other`` — the paper's ``R1 ; R2``.
+        """
+        other_succ = other.successors_map()
+        pairs: Set[Pair] = set()
+        for a, c in self._pairs:
+            for b in other_succ.get(c, ()):
+                pairs.add((a, b))
+        return Relation(pairs, self._universe | other._universe)
+
+    def inverse(self) -> "Relation[T]":
+        """The converse relation ``R^{-1}``."""
+        return Relation(((b, a) for a, b in self._pairs), self._universe)
+
+    def reflexive(self) -> "Relation[T]":
+        """The reflexive closure ``R? = R ∪ {(a, a) | a ∈ universe}``."""
+        pairs = set(self._pairs)
+        pairs.update((a, a) for a in self._universe)
+        return Relation(pairs, self._universe)
+
+    def irreflexive_part(self) -> "Relation[T]":
+        """The relation with all self-loops removed."""
+        return Relation(
+            ((a, b) for a, b in self._pairs if a != b), self._universe
+        )
+
+    def restrict(self, elements: AbstractSet[T]) -> "Relation[T]":
+        """The restriction of the relation to ``elements × elements``."""
+        elems = set(elements)
+        return Relation(
+            ((a, b) for a, b in self._pairs if a in elems and b in elems),
+            elems,
+        )
+
+    def filter(self, predicate: Callable[[T, T], bool]) -> "Relation[T]":
+        """Keep only the pairs satisfying ``predicate(a, b)``."""
+        return Relation(
+            ((a, b) for a, b in self._pairs if predicate(a, b)),
+            self._universe,
+        )
+
+    def map(self, fn: Callable[[T], T]) -> "Relation[T]":
+        """Apply ``fn`` to both components of every pair.
+
+        Used by the splicing construction (Section 5) to lift dependencies
+        from chopped transactions to their spliced representatives.
+        """
+        return Relation(
+            ((fn(a), fn(b)) for a, b in self._pairs),
+            (fn(a) for a in self._universe),
+        )
+
+    # ------------------------------------------------------------------
+    # Closures
+    # ------------------------------------------------------------------
+
+    def transitive_closure(self) -> "Relation[T]":
+        """The transitive closure ``R+`` (BFS from every source node)."""
+        succ = self.successors_map()
+        pairs: Set[Pair] = set()
+        for start in succ:
+            seen: Set[T] = set()
+            queue: deque = deque(succ[start])
+            while queue:
+                node = queue.popleft()
+                if node in seen:
+                    continue
+                seen.add(node)
+                queue.extend(succ.get(node, ()))
+            pairs.update((start, node) for node in seen)
+        return Relation(pairs, self._universe)
+
+    def reflexive_transitive_closure(self) -> "Relation[T]":
+        """The reflexive-transitive closure ``R*`` over the universe."""
+        return self.transitive_closure().reflexive()
+
+    def is_transitive(self) -> bool:
+        """True iff ``R ; R ⊆ R``."""
+        return self.compose(self).pairs <= self._pairs
+
+    # ------------------------------------------------------------------
+    # Order-theoretic predicates
+    # ------------------------------------------------------------------
+
+    def is_irreflexive(self) -> bool:
+        """True iff no pair ``(a, a)`` is present."""
+        return all(a != b for a, b in self._pairs)
+
+    def is_acyclic(self) -> bool:
+        """True iff the relation, viewed as a digraph, has no cycle.
+
+        Self-loops count as cycles.  Implemented with an iterative
+        depth-first search (three-colour marking).
+        """
+        succ = self.successors_map()
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour: Dict[T, int] = {}
+        for root in succ:
+            if colour.get(root, WHITE) != WHITE:
+                continue
+            stack: List[Tuple[T, Iterator[T]]] = [(root, iter(succ.get(root, ())))]
+            colour[root] = GREY
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    c = colour.get(nxt, WHITE)
+                    if c == GREY:
+                        return False
+                    if c == WHITE:
+                        colour[nxt] = GREY
+                        stack.append((nxt, iter(succ.get(nxt, ()))))
+                        advanced = True
+                        break
+                if not advanced:
+                    colour[node] = BLACK
+                    stack.pop()
+        return True
+
+    def is_strict_partial_order(self) -> bool:
+        """True iff the relation is transitive and irreflexive."""
+        return self.is_irreflexive() and self.is_transitive()
+
+    def is_total_on(self, elements: Optional[AbstractSet[T]] = None) -> bool:
+        """True iff every two distinct elements are related one way or the
+        other.  Defaults to the relation's universe."""
+        elems = list(self._universe if elements is None else elements)
+        for i, a in enumerate(elems):
+            for b in elems[i + 1 :]:
+                if (a, b) not in self._pairs and (b, a) not in self._pairs:
+                    return False
+        return True
+
+    def is_strict_total_order(
+        self, elements: Optional[AbstractSet[T]] = None
+    ) -> bool:
+        """True iff the relation is a strict partial order, total over
+        ``elements`` (default: universe)."""
+        return self.is_strict_partial_order() and self.is_total_on(elements)
+
+    def unrelated_pairs(
+        self, elements: Optional[AbstractSet[T]] = None
+    ) -> Iterator[Pair]:
+        """Yield pairs of distinct elements related in neither direction.
+
+        Used by the commit-order totalisation of Theorem 10(i), which picks
+        "an arbitrary pair of transactions unrelated by CO".
+        """
+        elems = sorted(
+            self._universe if elements is None else elements, key=repr
+        )
+        for i, a in enumerate(elems):
+            for b in elems[i + 1 :]:
+                if (a, b) not in self._pairs and (b, a) not in self._pairs:
+                    yield (a, b)
+
+    def find_cycle(self) -> Optional[List[T]]:
+        """Return one cycle ``[a0, a1, ..., a0]`` if the relation has one,
+        else ``None``.  Useful for diagnostics in error messages."""
+        succ = self.successors_map()
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour: Dict[T, int] = {}
+        parent: Dict[T, T] = {}
+        for root in succ:
+            if colour.get(root, WHITE) != WHITE:
+                continue
+            stack: List[Tuple[T, Iterator[T]]] = [(root, iter(succ.get(root, ())))]
+            colour[root] = GREY
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    c = colour.get(nxt, WHITE)
+                    if c == GREY:
+                        cycle = [nxt]
+                        cur = node
+                        while cur != nxt:
+                            cycle.append(cur)
+                            cur = parent[cur]
+                        cycle.append(nxt)
+                        cycle.reverse()
+                        return cycle
+                    if c == WHITE:
+                        colour[nxt] = GREY
+                        parent[nxt] = node
+                        stack.append((nxt, iter(succ.get(nxt, ()))))
+                        advanced = True
+                        break
+                if not advanced:
+                    colour[node] = BLACK
+                    stack.pop()
+        return None
+
+    # ------------------------------------------------------------------
+    # Extrema (the paper's max_R / min_R)
+    # ------------------------------------------------------------------
+
+    def max_element(self, elements: AbstractSet[T]) -> T:
+        """The paper's ``max_R(A)``: the element of ``elements`` that every
+        other element of ``elements`` reaches via R.
+
+        Raises :class:`ValueError` when undefined (empty set, or no element
+        dominates all others — e.g. R not total over the set).
+        """
+        if not elements:
+            raise ValueError("max_R of an empty set is undefined")
+        for a in elements:
+            if all(b == a or (b, a) in self._pairs for b in elements):
+                return a
+        raise ValueError(
+            f"max_R undefined: no maximum among {sorted(elements, key=repr)!r}"
+        )
+
+    def min_element(self, elements: AbstractSet[T]) -> T:
+        """The paper's ``min_R(A)``; dual of :meth:`max_element`."""
+        if not elements:
+            raise ValueError("min_R of an empty set is undefined")
+        for a in elements:
+            if all(b == a or (a, b) in self._pairs for b in elements):
+                return a
+        raise ValueError(
+            f"min_R undefined: no minimum among {sorted(elements, key=repr)!r}"
+        )
+
+    # ------------------------------------------------------------------
+    # Linearisation
+    # ------------------------------------------------------------------
+
+    def topological_order(self) -> List[T]:
+        """A list of the universe's elements consistent with the relation.
+
+        Raises :class:`ValueError` if the relation is cyclic.  Ties are
+        broken deterministically by ``repr`` so results are reproducible.
+        """
+        succ = self.successors_map()
+        indeg: Dict[T, int] = {a: 0 for a in self._universe}
+        for _, b in self._pairs:
+            if b in indeg:
+                indeg[b] += 1
+        ready = sorted((a for a, d in indeg.items() if d == 0), key=repr)
+        out: List[T] = []
+        ready_set = list(ready)
+        while ready_set:
+            node = ready_set.pop(0)
+            out.append(node)
+            for nxt in sorted(succ.get(node, ()), key=repr):
+                indeg[nxt] -= 1
+                if indeg[nxt] == 0:
+                    # Insert keeping deterministic order.
+                    ready_set.append(nxt)
+            ready_set.sort(key=repr)
+        if len(out) != len(self._universe):
+            raise ValueError("relation is cyclic; no topological order exists")
+        return out
+
+    def totalise(self) -> "Relation[T]":
+        """Extend an acyclic relation to a strict total order on its
+        universe via a deterministic topological linearisation."""
+        order = self.topological_order()
+        pairs: Set[Pair] = set()
+        for i, a in enumerate(order):
+            for b in order[i + 1 :]:
+                pairs.add((a, b))
+        return Relation(pairs, self._universe)
+
+    # ------------------------------------------------------------------
+    # Convenience constructors
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def empty(universe: Iterable[T] = ()) -> "Relation[T]":
+        """The empty relation over ``universe``."""
+        return Relation((), universe)
+
+    @staticmethod
+    def identity(universe: Iterable[T]) -> "Relation[T]":
+        """The identity relation over ``universe``."""
+        elems = list(universe)
+        return Relation(((a, a) for a in elems), elems)
+
+    @staticmethod
+    def total_order(sequence: Sequence[T]) -> "Relation[T]":
+        """The strict total order induced by a sequence (earlier < later)."""
+        pairs: Set[Pair] = set()
+        for i, a in enumerate(sequence):
+            for b in sequence[i + 1 :]:
+                pairs.add((a, b))
+        return Relation(pairs, sequence)
+
+    @staticmethod
+    def from_edges(edges: Iterable[Pair], universe: Iterable[T] = ()) -> "Relation[T]":
+        """Build a relation from an iterable of pairs."""
+        return Relation(edges, universe)
+
+
+def union_all(relations: Iterable[Relation[T]]) -> Relation[T]:
+    """Union of an iterable of relations (empty union is empty)."""
+    rels = list(relations)
+    if not rels:
+        return Relation()
+    return rels[0].union(*rels[1:])

@@ -1,0 +1,78 @@
+"""Dependency graphs (Section 3) and their model characterisations.
+
+Implements Adya-style dependency graphs (Definition 6), their extraction
+from abstract executions (Definition 5, Propositions 7 and 14), labelled
+cycle machinery, and the graph classes GraphSER / GraphSI / GraphPSI
+(Theorems 8, 9 and 21).
+"""
+
+from .dependency import DependencyGraph, dependency_graph, derive_rw
+from .extraction import (
+    antidependencies_via_visibility,
+    extract_wr,
+    extract_ww,
+    graph_of,
+)
+from .cycles import (
+    CONFLICT_KINDS,
+    Cycle,
+    DEPENDENCY_KINDS,
+    EdgeKind,
+    LabeledDigraph,
+    LabeledEdge,
+    is_antidependency,
+    is_conflict,
+    is_dependency,
+    is_predecessor,
+)
+from .classify import (
+    classify,
+    cycle_allowed_by_psi,
+    cycle_allowed_by_si,
+    in_graph_psi,
+    in_graph_psi_by_cycles,
+    in_graph_ser,
+    in_graph_ser_by_cycles,
+    in_graph_si,
+    in_graph_si_by_cycles,
+    psi_composite_relation,
+    psi_violation_witness,
+    ser_violation_witness,
+    si_composite_relation,
+    si_violation_witness,
+    to_labeled_digraph,
+)
+
+__all__ = [
+    "DependencyGraph",
+    "dependency_graph",
+    "derive_rw",
+    "graph_of",
+    "extract_wr",
+    "extract_ww",
+    "antidependencies_via_visibility",
+    "Cycle",
+    "EdgeKind",
+    "LabeledDigraph",
+    "LabeledEdge",
+    "CONFLICT_KINDS",
+    "DEPENDENCY_KINDS",
+    "is_conflict",
+    "is_predecessor",
+    "is_antidependency",
+    "is_dependency",
+    "classify",
+    "in_graph_ser",
+    "in_graph_si",
+    "in_graph_psi",
+    "in_graph_ser_by_cycles",
+    "in_graph_si_by_cycles",
+    "in_graph_psi_by_cycles",
+    "si_composite_relation",
+    "psi_composite_relation",
+    "cycle_allowed_by_si",
+    "cycle_allowed_by_psi",
+    "si_violation_witness",
+    "ser_violation_witness",
+    "psi_violation_witness",
+]

@@ -1,0 +1,178 @@
+"""Dependency-graph characterisations of SER, SI and PSI.
+
+The three theorems of the paper characterise the histories allowed by each
+model via conditions on dependency graphs:
+
+* **GraphSER** (Theorem 8):  ``SO ∪ WR ∪ WW ∪ RW`` is acyclic.
+* **GraphSI** (Theorem 9):   ``(SO ∪ WR ∪ WW) ; RW?`` is acyclic — every
+  cycle of the graph has at least two *adjacent* anti-dependency edges.
+* **GraphPSI** (Theorem 21): ``(SO ∪ WR ∪ WW)+ ; RW?`` is irreflexive —
+  every cycle has at least two anti-dependency edges (not necessarily
+  adjacent).
+
+All three checks are polynomial (relation composition plus cycle
+detection).  For validation, the module also offers the *cycle-based*
+formulations — direct scans of all simple cycles of the labelled graph —
+which must agree with the compositional ones; tests and an ablation bench
+exercise this equivalence.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.errors import InternalConsistencyError
+from ..core.relations import Relation
+from ..core.transactions import Transaction
+from .cycles import (
+    Cycle,
+    EdgeKind,
+    LabeledDigraph,
+    LabeledEdge,
+    is_antidependency,
+)
+from .dependency import DependencyGraph
+
+
+# ----------------------------------------------------------------------
+# Compositional (polynomial) characterisations
+# ----------------------------------------------------------------------
+
+
+def in_graph_ser(graph: DependencyGraph) -> bool:
+    """``G ∈ GraphSER`` (Theorem 8): INT holds and
+    ``SO ∪ WR ∪ WW ∪ RW`` is acyclic."""
+    if not graph.history.is_internally_consistent():
+        return False
+    return graph.all_edges.is_acyclic()
+
+
+def si_composite_relation(graph: DependencyGraph) -> Relation[Transaction]:
+    """The relation ``(SO ∪ WR ∪ WW) ; RW?`` from Theorem 9."""
+    deps = graph.dependencies
+    rw_reflexive = graph.rw_union.reflexive()
+    return deps.compose(rw_reflexive)
+
+
+def in_graph_si(graph: DependencyGraph) -> bool:
+    """``G ∈ GraphSI`` (Theorem 9): INT holds and
+    ``(SO ∪ WR ∪ WW) ; RW?`` is acyclic."""
+    if not graph.history.is_internally_consistent():
+        return False
+    return si_composite_relation(graph).is_acyclic()
+
+
+def psi_composite_relation(graph: DependencyGraph) -> Relation[Transaction]:
+    """The relation ``(SO ∪ WR ∪ WW)+ ; RW?`` from Theorem 21."""
+    deps_plus = graph.dependencies.transitive_closure()
+    rw_reflexive = graph.rw_union.reflexive()
+    return deps_plus.compose(rw_reflexive)
+
+
+def in_graph_psi(graph: DependencyGraph) -> bool:
+    """``G ∈ GraphPSI`` (Theorem 21): INT holds and
+    ``(SO ∪ WR ∪ WW)+ ; RW?`` is irreflexive."""
+    if not graph.history.is_internally_consistent():
+        return False
+    return psi_composite_relation(graph).is_irreflexive()
+
+
+def classify(graph: DependencyGraph) -> dict:
+    """Membership of ``graph`` in all three graph classes at once."""
+    return {
+        "SER": in_graph_ser(graph),
+        "SI": in_graph_si(graph),
+        "PSI": in_graph_psi(graph),
+    }
+
+
+# ----------------------------------------------------------------------
+# Labelled-graph view and cycle-based (validation) characterisations
+# ----------------------------------------------------------------------
+
+
+def to_labeled_digraph(graph: DependencyGraph) -> LabeledDigraph:
+    """The dependency graph as an edge-labelled multigraph over tids.
+
+    Nodes are transaction ids; edges carry :class:`EdgeKind` labels and the
+    object of per-object dependencies.  Used by the cycle-based validation
+    checks and by diagnostics (witness cycles).
+    """
+    g = LabeledDigraph()
+    for t in graph.transactions:
+        g.add_node(t.tid)
+    for a, b in graph.session_order:
+        g.add_edge(LabeledEdge(a.tid, b.tid, EdgeKind.SO))
+    for obj, rel in graph.wr.items():
+        for a, b in rel:
+            g.add_edge(LabeledEdge(a.tid, b.tid, EdgeKind.WR, obj))
+    for obj, rel in graph.ww.items():
+        for a, b in rel:
+            g.add_edge(LabeledEdge(a.tid, b.tid, EdgeKind.WW, obj))
+    for obj, rel in graph.rw.items():
+        for a, b in rel:
+            g.add_edge(LabeledEdge(a.tid, b.tid, EdgeKind.RW, obj))
+    return g
+
+
+def cycle_allowed_by_si(cycle: Cycle) -> bool:
+    """Theorem 9's per-cycle condition: the cycle contains at least two
+    *cyclically adjacent* anti-dependency edges."""
+    return cycle.has_adjacent_pair(is_antidependency)
+
+
+def cycle_allowed_by_psi(cycle: Cycle) -> bool:
+    """Theorem 21's per-cycle condition: at least two anti-dependency
+    edges (adjacency not required)."""
+    if cycle.count(EdgeKind.RW) >= 2:
+        return True
+    # A single RW edge cyclically adjacent to itself (the whole cycle is
+    # that one edge) cannot happen since RW is irreflexive, so < 2 RW edges
+    # always disqualifies the cycle.
+    return False
+
+
+def in_graph_si_by_cycles(graph: DependencyGraph) -> bool:
+    """GraphSI membership by exhaustive cycle scan (validation variant).
+
+    Exponential in the worst case; used in tests/benches to cross-check
+    :func:`in_graph_si` and to produce witness cycles.
+    """
+    if not graph.history.is_internally_consistent():
+        return False
+    return to_labeled_digraph(graph).all_cycles_satisfy(cycle_allowed_by_si)
+
+
+def in_graph_psi_by_cycles(graph: DependencyGraph) -> bool:
+    """GraphPSI membership by exhaustive cycle scan (validation variant)."""
+    if not graph.history.is_internally_consistent():
+        return False
+    return to_labeled_digraph(graph).all_cycles_satisfy(cycle_allowed_by_psi)
+
+
+def in_graph_ser_by_cycles(graph: DependencyGraph) -> bool:
+    """GraphSER membership by cycle scan: no cycles at all."""
+    if not graph.history.is_internally_consistent():
+        return False
+    return to_labeled_digraph(graph).find_cycle(lambda c: True) is None
+
+
+def si_violation_witness(graph: DependencyGraph) -> Optional[Cycle]:
+    """A cycle violating Theorem 9's condition (no two adjacent RW edges),
+    or ``None`` when the graph is in GraphSI.  For diagnostics."""
+    return to_labeled_digraph(graph).find_cycle(
+        lambda c: not cycle_allowed_by_si(c)
+    )
+
+
+def ser_violation_witness(graph: DependencyGraph) -> Optional[Cycle]:
+    """Any cycle of the graph (a witness of non-serializability), or
+    ``None`` when acyclic."""
+    return to_labeled_digraph(graph).find_cycle(lambda c: True)
+
+
+def psi_violation_witness(graph: DependencyGraph) -> Optional[Cycle]:
+    """A cycle with fewer than two anti-dependency edges, or ``None``."""
+    return to_labeled_digraph(graph).find_cycle(
+        lambda c: not cycle_allowed_by_psi(c)
+    )

@@ -1,0 +1,326 @@
+"""Labelled-cycle machinery shared by the characterisations and analyses.
+
+The paper's conditions — Theorem 9's "every cycle has at least two adjacent
+anti-dependency edges", Theorem 21's "at least two anti-dependency edges",
+and the critical-cycle definitions of Sections 5 and Appendix B — all speak
+about *cycles in an edge-labelled directed multigraph* (a transaction or
+program-piece graph whose parallel edges carry labels such as SO, WR, WW,
+RW, successor, predecessor).
+
+This module provides:
+
+* :class:`LabeledEdge` / :class:`LabeledDigraph` — the multigraph;
+* :class:`Cycle` — a cyclic sequence of labelled edges with the
+  rotation-aware helpers the conditions need (adjacent-pair scans,
+  consecutive-fragment search, subsequence projections);
+* :func:`simple_cycles` — lazy enumeration of all simple cycles, expanding
+  parallel-edge label choices, built on networkx's vertex-cycle enumerator.
+
+Cycle conditions are rotation-invariant, so all helpers treat the edge
+sequence as circular.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    Hashable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    TypeVar,
+)
+
+import networkx as nx
+
+Node = TypeVar("Node", bound=Hashable)
+
+
+class EdgeKind(enum.Enum):
+    """Labels occurring on dependency-graph and chopping-graph edges."""
+
+    SO = "SO"
+    """Session order (dependency graphs)."""
+    WR = "WR"
+    """Read dependency (also a *conflict* edge in chopping graphs)."""
+    WW = "WW"
+    """Write dependency (also a *conflict* edge in chopping graphs)."""
+    RW = "RW"
+    """Anti-dependency (also a *conflict* edge in chopping graphs)."""
+    SUCCESSOR = "S"
+    """Chopping graphs: SO within a session (successor edge)."""
+    PREDECESSOR = "P"
+    """Chopping graphs: reverse of SO within a session (predecessor edge)."""
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+CONFLICT_KINDS: FrozenSet[EdgeKind] = frozenset(
+    {EdgeKind.WR, EdgeKind.WW, EdgeKind.RW}
+)
+"""The chopping-graph *conflict* edge kinds (Section 5)."""
+
+DEPENDENCY_KINDS: FrozenSet[EdgeKind] = frozenset(
+    {EdgeKind.WR, EdgeKind.WW}
+)
+"""Read/write dependencies — the separators in SI-critical condition (iii)."""
+
+
+@dataclass(frozen=True)
+class LabeledEdge:
+    """A directed edge with a kind label and an optional object annotation."""
+
+    src: Hashable
+    dst: Hashable
+    kind: EdgeKind
+    obj: Optional[str] = None
+
+    def __str__(self) -> str:
+        obj = f"({self.obj})" if self.obj else ""
+        return f"{self.src}--{self.kind}{obj}-->{self.dst}"
+
+
+@dataclass(frozen=True)
+class Cycle:
+    """A cycle: a non-empty edge sequence with ``edges[i].dst ==
+    edges[(i+1) % n].src``.  All predicates are rotation-invariant."""
+
+    edges: Tuple[LabeledEdge, ...]
+
+    def __post_init__(self) -> None:
+        n = len(self.edges)
+        if n == 0:
+            raise ValueError("a cycle must contain at least one edge")
+        for i, e in enumerate(self.edges):
+            nxt = self.edges[(i + 1) % n]
+            if e.dst != nxt.src:
+                raise ValueError(
+                    f"edge {e} does not connect to {nxt} in cycle"
+                )
+
+    def __len__(self) -> int:
+        return len(self.edges)
+
+    def __iter__(self) -> Iterator[LabeledEdge]:
+        return iter(self.edges)
+
+    def __str__(self) -> str:
+        return " ; ".join(str(e) for e in self.edges)
+
+    @property
+    def nodes(self) -> Tuple[Hashable, ...]:
+        """The visited nodes, one per edge (the edge sources)."""
+        return tuple(e.src for e in self.edges)
+
+    @property
+    def kinds(self) -> Tuple[EdgeKind, ...]:
+        """The cyclic label sequence."""
+        return tuple(e.kind for e in self.edges)
+
+    def is_simple(self) -> bool:
+        """True iff no vertex occurs twice (condition (i) of criticality)."""
+        nodes = self.nodes
+        return len(set(nodes)) == len(nodes)
+
+    def count(self, kind: EdgeKind) -> int:
+        """Number of edges of the given kind."""
+        return sum(1 for e in self.edges if e.kind is kind)
+
+    # ------------------------------------------------------------------
+    # Rotation-invariant pattern predicates
+    # ------------------------------------------------------------------
+
+    def has_adjacent_pair(
+        self, predicate: Callable[[EdgeKind], bool]
+    ) -> bool:
+        """True iff two *cyclically consecutive* edges both satisfy
+        ``predicate``.  A single-edge cycle is adjacent to itself.
+
+        With ``predicate = (k is RW)`` this is Theorem 9's "two adjacent
+        anti-dependency edges"; a graph is in GraphSI iff *every* cycle
+        passes this test.
+        """
+        kinds = self.kinds
+        n = len(kinds)
+        return any(
+            predicate(kinds[i]) and predicate(kinds[(i + 1) % n])
+            for i in range(n)
+        )
+
+    def has_fragment(self, pattern: Sequence[Callable[[EdgeKind], bool]]) -> bool:
+        """True iff some rotation starts with consecutive edges matching
+        ``pattern`` (a sequence of kind predicates).
+
+        With ``pattern = [conflict, predecessor, conflict]`` this is
+        condition (ii) of the critical-cycle definitions.
+
+        Patterns longer than the cycle wrap around and may revisit edges:
+        walking a two-edge cycle does traverse its edges repeatedly, so a
+        "conflict, predecessor, conflict" fragment on a conflict/predecessor
+        2-cycle matches (the conservative reading; such mixed 2-cycles
+        cannot occur in real chopping graphs anyway, since conflict edges
+        cross sessions while predecessor edges stay inside one).
+        """
+        kinds = self.kinds
+        n = len(kinds)
+        m = len(pattern)
+        for start in range(n):
+            if all(pattern[j](kinds[(start + j) % n]) for j in range(m)):
+                return True
+        return False
+
+    def project(
+        self, predicate: Callable[[LabeledEdge], bool]
+    ) -> Tuple[LabeledEdge, ...]:
+        """The cyclic subsequence of edges satisfying ``predicate``,
+        preserving order (e.g. the conflict edges of a chopping cycle)."""
+        return tuple(e for e in self.edges if predicate(e))
+
+    def rotations(self) -> Iterator["Cycle"]:
+        """All rotations of the cycle (mostly for testing invariance)."""
+        n = len(self.edges)
+        for i in range(n):
+            yield Cycle(self.edges[i:] + self.edges[:i])
+
+
+class LabeledDigraph:
+    """A directed multigraph with labelled edges and lazy cycle enumeration.
+
+    Parallel edges of different kinds between the same node pair are kept
+    separately; :meth:`simple_cycles` expands every combination of parallel
+    edge choices so each yielded :class:`Cycle` has a definite label
+    sequence.
+    """
+
+    def __init__(self, edges: Iterable[LabeledEdge] = ()):
+        self._edges: Set[LabeledEdge] = set()
+        self._by_pair: Dict[Tuple[Hashable, Hashable], List[LabeledEdge]] = {}
+        self._nodes: Set[Hashable] = set()
+        for e in edges:
+            self.add_edge(e)
+
+    def add_edge(self, edge: LabeledEdge) -> None:
+        """Insert an edge (idempotent)."""
+        if edge in self._edges:
+            return
+        self._edges.add(edge)
+        self._by_pair.setdefault((edge.src, edge.dst), []).append(edge)
+        self._nodes.add(edge.src)
+        self._nodes.add(edge.dst)
+
+    def add_node(self, node: Hashable) -> None:
+        """Insert an isolated node."""
+        self._nodes.add(node)
+
+    @property
+    def edges(self) -> FrozenSet[LabeledEdge]:
+        """All edges of the graph."""
+        return frozenset(self._edges)
+
+    @property
+    def nodes(self) -> FrozenSet[Hashable]:
+        """All nodes of the graph."""
+        return frozenset(self._nodes)
+
+    def edges_between(self, src: Hashable, dst: Hashable) -> List[LabeledEdge]:
+        """The parallel edges from ``src`` to ``dst``."""
+        return list(self._by_pair.get((src, dst), ()))
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def to_networkx(self) -> "nx.MultiDiGraph":
+        """Export to a networkx multigraph (edge data under ``'edge'``)."""
+        g = nx.MultiDiGraph()
+        g.add_nodes_from(self._nodes)
+        for e in self._edges:
+            g.add_edge(e.src, e.dst, edge=e)
+        return g
+
+    def simple_cycles(
+        self, length_bound: Optional[int] = None
+    ) -> Iterator[Cycle]:
+        """Lazily enumerate all simple cycles, one per parallel-edge choice.
+
+        Node cycles come from networkx's ``simple_cycles`` (Johnson's
+        algorithm); every combination of parallel labelled edges along a
+        node cycle yields one :class:`Cycle`.  ``length_bound`` caps the
+        number of *nodes* per cycle, pruning the enumeration.
+
+        The enumeration is exponential in the worst case — the analyses
+        only apply it to chopping/static graphs, which are small (their
+        size is the number of program pieces, not of runtime transactions).
+        """
+        base = nx.DiGraph()
+        base.add_nodes_from(self._nodes)
+        base.add_edges_from(self._by_pair.keys())
+        for node_cycle in nx.simple_cycles(base, length_bound=length_bound):
+            yield from self._expand_node_cycle(node_cycle)
+
+    def _expand_node_cycle(self, node_cycle: List[Hashable]) -> Iterator[Cycle]:
+        """Expand a vertex cycle into all labelled cycles it supports."""
+        n = len(node_cycle)
+        choice_lists = [
+            self.edges_between(node_cycle[i], node_cycle[(i + 1) % n])
+            for i in range(n)
+        ]
+        # Iterative cartesian product, lazily.
+        def product(i: int, acc: List[LabeledEdge]) -> Iterator[Cycle]:
+            if i == n:
+                yield Cycle(tuple(acc))
+                return
+            for edge in choice_lists[i]:
+                acc.append(edge)
+                yield from product(i + 1, acc)
+                acc.pop()
+
+        yield from product(0, [])
+
+    def find_cycle(
+        self,
+        predicate: Callable[[Cycle], bool],
+        length_bound: Optional[int] = None,
+    ) -> Optional[Cycle]:
+        """The first enumerated simple cycle satisfying ``predicate``, or
+        ``None``.  Early-exits as soon as a witness is found."""
+        for cycle in self.simple_cycles(length_bound=length_bound):
+            if predicate(cycle):
+                return cycle
+        return None
+
+    def all_cycles_satisfy(
+        self,
+        predicate: Callable[[Cycle], bool],
+        length_bound: Optional[int] = None,
+    ) -> bool:
+        """True iff every simple cycle satisfies ``predicate``."""
+        return self.find_cycle(lambda c: not predicate(c), length_bound) is None
+
+
+def is_conflict(kind: EdgeKind) -> bool:
+    """True for chopping-graph conflict edges (WR/WW/RW)."""
+    return kind in CONFLICT_KINDS
+
+
+def is_predecessor(kind: EdgeKind) -> bool:
+    """True for chopping-graph predecessor edges."""
+    return kind is EdgeKind.PREDECESSOR
+
+
+def is_antidependency(kind: EdgeKind) -> bool:
+    """True for anti-dependency (RW) edges."""
+    return kind is EdgeKind.RW
+
+
+def is_dependency(kind: EdgeKind) -> bool:
+    """True for read/write dependency (WR/WW) edges."""
+    return kind in DEPENDENCY_KINDS

@@ -1,0 +1,262 @@
+"""Dependency graphs (Definition 6) — Adya-style direct serialization graphs.
+
+A dependency graph extends a history with three families of per-object
+relations between transactions:
+
+* ``WR(x)`` — *read dependency*: ``T --WR(x)--> S`` means ``S`` reads the
+  value of ``x`` written by ``T``;
+* ``WW(x)`` — *write dependency*: ``T --WW(x)--> S`` means ``S`` overwrites
+  ``T``'s write to ``x``; ``WW(x)`` is a strict total order over the
+  transactions writing ``x``;
+* ``RW(x)`` — *anti-dependency*, derived from WR and WW (Definition 5):
+  ``T --RW(x)--> S`` iff ``T ≠ S`` and some ``T'`` satisfies
+  ``T' --WR(x)--> T`` and ``T' --WW(x)--> S`` (``S`` overwrites the write
+  read by ``T``).
+
+Definition 6's well-formedness conditions on WR: the source must write the
+value the target reads externally, every external read has exactly one WR
+source, and sources are unique per (object, reader).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import cached_property
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from ..core.errors import MalformedDependencyGraphError
+from ..core.events import Obj
+from ..core.histories import History
+from ..core.relations import Relation, union_all
+from ..core.transactions import Transaction
+
+PerObject = Mapping[Obj, Relation[Transaction]]
+
+
+def derive_rw(
+    history: History,
+    wr: PerObject,
+    ww: PerObject,
+) -> Dict[Obj, Relation[Transaction]]:
+    """Derive the anti-dependency relations RW(x) per Definition 5.
+
+    ``T --RW(x)--> S`` iff ``T ≠ S ∧ ∃T'. T' --WR(x)--> T ∧ T' --WW(x)--> S``.
+    """
+    universe = history.transactions
+    rw: Dict[Obj, Relation[Transaction]] = {}
+    objs = set(wr) | set(ww)
+    for obj in objs:
+        wr_x = wr.get(obj, Relation.empty(universe))
+        ww_x = ww.get(obj, Relation.empty(universe))
+        pairs: Set[Tuple[Transaction, Transaction]] = set()
+        ww_succ = ww_x.successors_map()
+        for t_prime, t in wr_x:
+            for s in ww_succ.get(t_prime, ()):
+                if t != s:
+                    pairs.add((t, s))
+        rw[obj] = Relation(pairs, universe)
+    return rw
+
+
+@dataclass(frozen=True)
+class DependencyGraph:
+    """A dependency graph ``G = (T, SO, WR, WW, RW)`` (Definition 6).
+
+    RW is always derived from WR and WW; it is exposed as a property rather
+    than stored, so the graph cannot become internally inconsistent.
+
+    Construct with ``validate=False`` to skip Definition 6's checks (used by
+    generators that guarantee well-formedness).
+    """
+
+    history: History
+    wr: Mapping[Obj, Relation[Transaction]]
+    ww: Mapping[Obj, Relation[Transaction]]
+    validate: bool = field(default=True, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        # Normalise mappings to plain dicts with no empty junk entries.
+        object.__setattr__(self, "wr", dict(self.wr))
+        object.__setattr__(self, "ww", dict(self.ww))
+        if self.validate:
+            self.check_well_formed()
+
+    # ------------------------------------------------------------------
+    # Definition 6 well-formedness
+    # ------------------------------------------------------------------
+
+    def well_formedness_violations(self) -> List[str]:
+        """Describe violations of Definition 6's conditions."""
+        violations: List[str] = []
+        txns = self.history.transactions
+
+        for obj, rel in self.wr.items():
+            sources_per_reader: Dict[Transaction, List[Transaction]] = {}
+            for t, s in rel:
+                if t not in txns or s not in txns:
+                    violations.append(
+                        f"WR({obj}) mentions transactions outside the history"
+                    )
+                    continue
+                if t == s:
+                    violations.append(f"WR({obj}): self-edge on {t.tid}")
+                    continue
+                n = s.external_read(obj)
+                if n is None:
+                    violations.append(
+                        f"WR({obj}): {s.tid} has no external read of {obj}"
+                    )
+                elif t.final_write(obj) != n:
+                    violations.append(
+                        f"WR({obj}): {t.tid} writes "
+                        f"{t.final_write(obj)!r} but {s.tid} reads {n!r}"
+                    )
+                sources_per_reader.setdefault(s, []).append(t)
+            for s, sources in sources_per_reader.items():
+                if len(sources) > 1:
+                    violations.append(
+                        f"WR({obj}): {s.tid} has multiple sources "
+                        f"{sorted(t.tid for t in sources)}"
+                    )
+
+        # Every external read must have a WR source.
+        for t in txns:
+            for obj in t.external_read_objects:
+                rel = self.wr.get(obj, Relation.empty())
+                if not any(s == t for _, s in rel):
+                    violations.append(
+                        f"WR({obj}): external read by {t.tid} has no source"
+                    )
+
+        # WW(x) must be a strict total order over WriteTx_x.
+        for obj in self.history.objects:
+            writers = self.history.write_transactions(obj)
+            rel = self.ww.get(obj, Relation.empty(writers))
+            stray = rel.field - writers
+            if stray:
+                violations.append(
+                    f"WW({obj}) mentions non-writers: "
+                    f"{sorted(t.tid for t in stray)}"
+                )
+            if len(writers) > 1 or rel.pairs:
+                if not rel.is_strict_total_order(writers):
+                    violations.append(
+                        f"WW({obj}) is not a strict total order over "
+                        f"{sorted(t.tid for t in writers)}"
+                    )
+        return violations
+
+    def check_well_formed(self) -> None:
+        """Raise :class:`MalformedDependencyGraphError` on any violation."""
+        violations = self.well_formedness_violations()
+        if violations:
+            raise MalformedDependencyGraphError("; ".join(violations))
+
+    # ------------------------------------------------------------------
+    # Derived relations
+    # ------------------------------------------------------------------
+
+    @cached_property
+    def rw(self) -> Dict[Obj, Relation[Transaction]]:
+        """The anti-dependency relations RW(x), derived per Definition 5."""
+        return derive_rw(self.history, self.wr, self.ww)
+
+    @property
+    def transactions(self) -> FrozenSet[Transaction]:
+        """The transactions of the underlying history."""
+        return self.history.transactions
+
+    @property
+    def session_order(self) -> Relation[Transaction]:
+        """The session order SO of the underlying history."""
+        return self.history.session_order
+
+    @cached_property
+    def wr_union(self) -> Relation[Transaction]:
+        """``WR = ⋃_x WR(x)`` as a single relation over transactions."""
+        return union_all(self.wr.values()).union(
+            Relation.empty(self.history.transactions)
+        )
+
+    @cached_property
+    def ww_union(self) -> Relation[Transaction]:
+        """``WW = ⋃_x WW(x)``."""
+        return union_all(self.ww.values()).union(
+            Relation.empty(self.history.transactions)
+        )
+
+    @cached_property
+    def rw_union(self) -> Relation[Transaction]:
+        """``RW = ⋃_x RW(x)``."""
+        return union_all(self.rw.values()).union(
+            Relation.empty(self.history.transactions)
+        )
+
+    @cached_property
+    def dependencies(self) -> Relation[Transaction]:
+        """``SO ∪ WR ∪ WW`` — the non-anti-dependency edges used by the
+        characterisations of Theorems 9 and 21."""
+        return self.session_order.union(self.wr_union, self.ww_union)
+
+    @cached_property
+    def all_edges(self) -> Relation[Transaction]:
+        """``SO ∪ WR ∪ WW ∪ RW`` — the full edge set (Theorem 8)."""
+        return self.dependencies.union(self.rw_union)
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+
+    def wr_on(self, obj: Obj) -> Relation[Transaction]:
+        """WR(obj), empty if no reads of ``obj`` exist."""
+        return self.wr.get(obj, Relation.empty(self.history.transactions))
+
+    def ww_on(self, obj: Obj) -> Relation[Transaction]:
+        """WW(obj), empty if fewer than two writers exist."""
+        return self.ww.get(obj, Relation.empty(self.history.transactions))
+
+    def rw_on(self, obj: Obj) -> Relation[Transaction]:
+        """RW(obj), derived."""
+        return self.rw.get(obj, Relation.empty(self.history.transactions))
+
+    def describe(self) -> str:
+        """Human-readable rendering: history plus labelled edges."""
+
+        def render(per_obj: Mapping[Obj, Relation[Transaction]]) -> str:
+            parts = []
+            for obj in sorted(per_obj):
+                for a, b in sorted(
+                    per_obj[obj], key=lambda p: (p[0].tid, p[1].tid)
+                ):
+                    parts.append(f"{a.tid}-({obj})->{b.tid}")
+            return ", ".join(parts) if parts else "(none)"
+
+        return "\n".join(
+            [
+                self.history.describe(),
+                f"WR: {render(self.wr)}",
+                f"WW: {render(self.ww)}",
+                f"RW: {render(self.rw)}",
+            ]
+        )
+
+
+def dependency_graph(
+    history: History,
+    wr: Mapping[Obj, Iterable[Tuple[Transaction, Transaction]]],
+    ww: Mapping[Obj, Iterable[Tuple[Transaction, Transaction]]],
+    transitively_close_ww: bool = True,
+    validate: bool = True,
+) -> DependencyGraph:
+    """Convenience constructor from edge iterables.
+
+    WW(x) may be given as the covering (successor) edges of the intended
+    total order; with ``transitively_close_ww`` (default) it is closed
+    transitively before validation.
+    """
+    universe = history.transactions
+    wr_rels = {obj: Relation(edges, universe) for obj, edges in wr.items()}
+    ww_rels = {obj: Relation(edges, universe) for obj, edges in ww.items()}
+    if transitively_close_ww:
+        ww_rels = {obj: rel.transitive_closure() for obj, rel in ww_rels.items()}
+    return DependencyGraph(history, wr_rels, ww_rels, validate=validate)

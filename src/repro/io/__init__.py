@@ -1,0 +1,40 @@
+"""Serialisation and the command-line front-end."""
+
+from .json_format import (
+    FormatError,
+    dump_history,
+    dump_programs,
+    graph_from_json,
+    graph_to_json,
+    history_from_json,
+    history_to_json,
+    load_history,
+    load_programs,
+    program_from_json,
+    program_to_json,
+    programs_from_json,
+    programs_to_json,
+    transaction_from_json,
+    transaction_to_json,
+)
+from .cli import build_parser, main
+
+__all__ = [
+    "FormatError",
+    "history_to_json",
+    "history_from_json",
+    "transaction_to_json",
+    "transaction_from_json",
+    "program_to_json",
+    "graph_to_json",
+    "graph_from_json",
+    "program_from_json",
+    "programs_to_json",
+    "programs_from_json",
+    "load_history",
+    "load_programs",
+    "dump_history",
+    "dump_programs",
+    "main",
+    "build_parser",
+]

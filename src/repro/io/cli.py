@@ -1,0 +1,285 @@
+"""Command-line front-end to the analyses.
+
+Usage (also available as ``python -m repro``)::
+
+    repro-si check-history log.json [--model SI|SER|PSI|all] [--exact]
+    repro-si check-chopping programs.json [--criterion SI|SER|PSI]
+    repro-si check-robustness programs.json [--property si-ser|psi-si]
+                               [--vulnerable] [--instances N]
+    repro-si demo [case]
+
+``check-history`` decides membership of a captured transaction log in the
+requested model class (Theorems 8/9/21 through the membership oracle);
+``check-chopping`` and ``check-robustness`` run the Section 5/6 static
+analyses on read/write-set descriptions; ``demo`` reproduces a catalog
+anomaly.  See :mod:`repro.io.json_format` for the file formats.
+
+Exit status: 0 when the property holds (history allowed / chopping
+correct / application robust), 1 when it does not, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from ..anomalies import ALL_CASES, load as load_case
+from ..characterisation.membership import classify_history, decide
+from ..chopping.criticality import Criterion
+from ..chopping.static import analyse_chopping
+from ..robustness.static import (
+    check_robustness_against_si,
+    check_robustness_psi_to_si,
+)
+from .json_format import load_history, load_programs
+
+
+def _cmd_check_history(args: argparse.Namespace) -> int:
+    history, init_tid = load_history(args.file)
+    if args.model == "all":
+        verdicts = classify_history(history, init_tid=init_tid)
+        for model, allowed in sorted(verdicts.items()):
+            print(f"{model}: {'allowed' if allowed else 'NOT allowed'}")
+        return 0 if verdicts["SI"] else 1
+    decision = decide(history, args.model, init_tid=init_tid)
+    if decision.allowed:
+        print(f"history is allowed by {args.model} "
+              f"({decision.graphs_explored} extension(s) explored)")
+        if args.verbose and decision.witness is not None:
+            print(decision.witness.describe())
+        if args.dump_witness and decision.witness is not None:
+            import json as _json
+
+            from .json_format import graph_to_json
+
+            with open(args.dump_witness, "w") as f:
+                _json.dump(graph_to_json(decision.witness), f, indent=2)
+            print(f"witness dependency graph written to "
+                  f"{args.dump_witness}")
+        return 0
+    print(f"history is NOT allowed by {args.model} "
+          f"({decision.graphs_explored} extension(s) explored)")
+    return 1
+
+
+def _cmd_check_chopping(args: argparse.Namespace) -> int:
+    programs = load_programs(args.file)
+    criterion = Criterion[args.criterion]
+    verdict = analyse_chopping(programs, criterion)
+    print(verdict)
+    return 0 if verdict.correct else 1
+
+
+def _cmd_check_robustness(args: argparse.Namespace) -> int:
+    programs = load_programs(args.file)
+    if args.property == "si-ser":
+        verdict = check_robustness_against_si(
+            programs,
+            instances=args.instances,
+            require_vulnerable=args.vulnerable,
+        )
+    else:
+        verdict = check_robustness_psi_to_si(
+            programs, instances=args.instances
+        )
+    print(verdict)
+    return 0 if verdict.robust else 1
+
+
+def _cmd_check_log(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from ..monitor import ConsistencyMonitor, MonitorError
+
+    with open(args.file) as f:
+        data = _json.load(f)
+    history, init_tid = load_history(args.file)
+    session_of = {
+        t.tid: i
+        for i, session in enumerate(history.sessions)
+        for t in session
+    }
+    order = data.get("commit_order")
+    if order is None:
+        order = [
+            t.tid
+            for session in history.sessions
+            for t in session
+            if t.tid != (init_tid or "")
+        ]
+    initial = data.get("init") or {}
+    monitor = ConsistencyMonitor(
+        model=args.model,
+        initial_values=initial,
+        strict_values=not args.lenient,
+        init_tid=init_tid or "t_init",
+    )
+    try:
+        for tid in order:
+            txn = history.by_tid(tid)
+            violation = monitor.observe_commit(
+                tid, f"s{session_of[tid]}", [e.op for e in txn.events]
+            )
+            if violation is not None:
+                print(violation)
+                return 1
+    except (MonitorError, KeyError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"log is {args.model}-consistent "
+        f"({monitor.commit_count} commits observed)"
+    )
+    return 0
+
+
+def _cmd_dot(args: argparse.Namespace) -> int:
+    from ..viz import dependency_graph_to_dot
+
+    history, init_tid = load_history(args.file)
+    decision = decide(history, args.model, init_tid=init_tid)
+    if not decision.allowed or decision.witness is None:
+        print(
+            f"history is NOT allowed by {args.model}; nothing to render",
+            file=sys.stderr,
+        )
+        return 1
+    dot = dependency_graph_to_dot(decision.witness, name=args.model)
+    if args.output:
+        with open(args.output, "w") as f:
+            f.write(dot + "\n")
+        print(f"DOT written to {args.output}")
+    else:
+        print(dot)
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    if args.case is None:
+        print("available cases:")
+        for name in sorted(ALL_CASES):
+            print(f"  {name}")
+        return 0
+    case = load_case(args.case)
+    print(case.description)
+    print()
+    print(case.history.describe())
+    verdicts = classify_history(case.history, init_tid=case.init_tid)
+    print()
+    for model, allowed in sorted(verdicts.items()):
+        marker = "allowed" if allowed else "NOT allowed"
+        print(f"{model}: {marker}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-si",
+        description="Snapshot-isolation analyses "
+        "(Cerone & Gotsman, PODC 2016, reproduced)",
+    )
+    from .. import __version__
+
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_hist = sub.add_parser(
+        "check-history", help="decide HistSI/HistSER/HistPSI membership"
+    )
+    p_hist.add_argument("file", help="history JSON document")
+    p_hist.add_argument(
+        "--model", choices=["SI", "SER", "PSI", "all"], default="SI"
+    )
+    p_hist.add_argument(
+        "--verbose", action="store_true",
+        help="print the witnessing dependency graph",
+    )
+    p_hist.add_argument(
+        "--dump-witness", metavar="FILE", default=None,
+        help="write the witnessing dependency graph as JSON",
+    )
+    p_hist.set_defaults(func=_cmd_check_history)
+
+    p_chop = sub.add_parser(
+        "check-chopping", help="static chopping analysis (Corollary 18)"
+    )
+    p_chop.add_argument("file", help="programs JSON document")
+    p_chop.add_argument(
+        "--criterion", choices=["SI", "SER", "PSI"], default="SI"
+    )
+    p_chop.set_defaults(func=_cmd_check_chopping)
+
+    p_rob = sub.add_parser(
+        "check-robustness", help="static robustness analysis (Section 6)"
+    )
+    p_rob.add_argument("file", help="programs JSON document")
+    p_rob.add_argument(
+        "--property", choices=["si-ser", "psi-si"], default="si-ser"
+    )
+    p_rob.add_argument(
+        "--vulnerable", action="store_true",
+        help="enable the write-conflict vulnerability refinement",
+    )
+    p_rob.add_argument("--instances", type=int, default=2)
+    p_rob.set_defaults(func=_cmd_check_robustness)
+
+    p_log = sub.add_parser(
+        "check-log",
+        help="replay a commit-ordered log through the online monitor",
+    )
+    p_log.add_argument("file", help="history JSON document (optionally "
+                       "with a 'commit_order' tid list)")
+    p_log.add_argument(
+        "--model", choices=["SI", "SER", "PSI"], default="SI"
+    )
+    p_log.add_argument(
+        "--lenient", action="store_true",
+        help="attribute ambiguous read values to the latest writer "
+             "instead of erroring",
+    )
+    p_log.set_defaults(func=_cmd_check_log)
+
+    p_dot = sub.add_parser(
+        "dot", help="render a history's witness dependency graph as DOT"
+    )
+    p_dot.add_argument("file", help="history JSON document")
+    p_dot.add_argument(
+        "--model", choices=["SI", "SER", "PSI"], default="SI",
+        help="model whose witness extension to render",
+    )
+    p_dot.add_argument(
+        "-o", "--output", metavar="FILE", default=None,
+        help="write DOT here instead of stdout",
+    )
+    p_dot.set_defaults(func=_cmd_dot)
+
+    p_demo = sub.add_parser("demo", help="reproduce a catalog anomaly")
+    p_demo.add_argument("case", nargs="?", default=None)
+    p_demo.set_defaults(func=_cmd_demo)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the exit status."""
+    parser = build_parser()
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as exc:
+        return 2 if exc.code not in (0, None) else 0
+    try:
+        return args.func(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""Online consistency monitoring (the §7 run-time-monitoring application).
+
+:class:`ConsistencyMonitor` watches a stream of committed transactions,
+maintains the dependency graph incrementally, and flags the first commit
+whose accumulated behaviour leaves GraphSI / GraphSER / GraphPSI.
+"""
+
+from .online import (
+    ConsistencyMonitor,
+    MonitorError,
+    Violation,
+    watch_engine,
+)
+
+__all__ = [
+    "ConsistencyMonitor",
+    "MonitorError",
+    "Violation",
+    "watch_engine",
+]

@@ -1,0 +1,318 @@
+"""Online consistency monitoring (the §7 application of Theorem 9).
+
+The paper notes that dependency-graph specifications are what run-time
+monitors need: a monitor sees committed transactions (their reads and
+writes) and must decide whether the accumulated behaviour is still
+explainable by the claimed consistency model — *without* guessing
+implementation internals like snapshot timestamps.
+
+:class:`ConsistencyMonitor` does exactly that.  It observes commits in
+commit order, incrementally maintains the dependency graph —
+
+* **WR** by attributing each external read to the writer of the value
+  (the monitor tracks, per object, which committed transaction wrote each
+  value; ambiguous duplicate values are rejected in strict mode);
+* **WW** as the observed commit order restricted to each object's writers
+  (Definition 5 with CO = real commit order);
+* **RW** derived incrementally: when ``T`` overwrites a version, every
+  earlier reader of that version gains an anti-dependency to ``T``; when
+  ``T`` reads a version that was already overwritten, ``T`` gains
+  anti-dependencies to the overwriters —
+
+and after every commit re-checks the model's graph condition
+(Theorem 9 for SI, Theorem 8 for SER, Theorem 21 for PSI).  On a
+violation it reports the offending cycle, and the monitor keeps the full
+graph so post-mortem extraction is possible.
+
+The per-commit check is a linear-time cycle test over the composite
+relation, so monitoring a run of ``n`` transactions costs ``O(n·(V+E))``
+overall — adequate for test harnesses and the bench; a production
+monitor would add windowing/garbage collection of old transactions.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.errors import ReproError
+from ..core.events import Obj, Op, Value
+from ..core.histories import History
+from ..core.relations import Relation
+from ..core.transactions import Transaction
+from ..graphs.dependency import DependencyGraph
+from ..mvcc.engine import BaseEngine
+
+
+class MonitorError(ReproError):
+    """Misuse of the monitor (duplicate tids, unattributable reads, ...)."""
+
+
+@dataclass(frozen=True)
+class Violation:
+    """A detected consistency violation.
+
+    Attributes:
+        model: the model whose condition failed.
+        tid: the transaction whose commit triggered the detection.
+        cycle: a witness cycle, as a list of tids (first == last).
+        message: human-readable explanation.
+    """
+
+    model: str
+    tid: str
+    cycle: List[str]
+    message: str
+
+    def __str__(self) -> str:
+        return self.message
+
+
+@dataclass
+class _TxnRecord:
+    txn: Transaction
+    session: str
+    index: int  # commit position
+
+
+class ConsistencyMonitor:
+    """Online checker for SI / SER / PSI over an observed commit stream.
+
+    Args:
+        model: ``"SI"`` (default), ``"SER"`` or ``"PSI"``.
+        initial_values: object → initial value; an implicit initialisation
+            transaction owns these versions.
+        strict_values: reject runs in which a read value cannot be
+            attributed to a unique writer (the default); with ``False``
+            the most recent writer of the value wins.
+        init_tid: the tid used for the implicit initialisation writer.
+    """
+
+    MODELS = ("SI", "SER", "PSI")
+
+    def __init__(
+        self,
+        model: str = "SI",
+        initial_values: Optional[Dict[Obj, Value]] = None,
+        strict_values: bool = True,
+        init_tid: str = "t_init",
+    ):
+        if model not in self.MODELS:
+            raise MonitorError(
+                f"unknown model {model!r}; expected one of {self.MODELS}"
+            )
+        self.model = model
+        self.strict_values = strict_values
+        self.init_tid = init_tid
+        self._records: Dict[str, _TxnRecord] = {}
+        self._commit_order: List[str] = []
+        self._sessions: Dict[str, List[str]] = {}
+        # Per object: the committed writer sequence and value attribution.
+        self._writers: Dict[Obj, List[str]] = {}
+        self._value_writer: Dict[Obj, Dict[Value, str]] = {}
+        self._collided: Dict[Obj, Set[Value]] = {}
+        # Which version (writer tid) each reader read, per object.
+        self._read_version: Dict[Tuple[str, Obj], str] = {}
+        # Dependency edges over tids.
+        self._so: Set[Tuple[str, str]] = set()
+        self._wr: Set[Tuple[str, str]] = set()
+        self._ww: Set[Tuple[str, str]] = set()
+        self._rw: Set[Tuple[str, str]] = set()
+        self.violations: List[Violation] = []
+        if initial_values:
+            for obj, value in initial_values.items():
+                self._writers[obj] = [init_tid]
+                self._value_writer.setdefault(obj, {})[value] = init_tid
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+
+    def observe_commit(
+        self, tid: str, session: str, events: Sequence[Op]
+    ) -> Optional[Violation]:
+        """Feed one committed transaction (in real commit order).
+
+        Returns a :class:`Violation` if the accumulated behaviour is no
+        longer allowed by the model, else ``None``.  Monitoring continues
+        after a violation (further commits are still processed).
+        """
+        if tid in self._records:
+            raise MonitorError(f"transaction {tid!r} observed twice")
+        txn = _make_transaction(tid, events)
+        record = _TxnRecord(txn, session, len(self._commit_order))
+        self._records[tid] = record
+        self._commit_order.append(tid)
+
+        # SO: edges from every earlier transaction of the session.
+        earlier = self._sessions.setdefault(session, [])
+        for prev in earlier:
+            self._so.add((prev, tid))
+        earlier.append(tid)
+
+        # WR and RW-in: attribute external reads to writers.
+        for obj in sorted(txn.external_read_objects):
+            value = txn.external_read(obj)
+            writer = self._attribute_read(tid, obj, value)
+            self._read_version[(tid, obj)] = writer
+            if writer != self.init_tid or self._known(writer):
+                if writer != tid:
+                    self._wr.add((writer, tid))
+            # RW out of this reader towards every later overwriter of
+            # that version (writers after `writer` in the object's order).
+            seq = self._writers.get(obj, [])
+            if writer in seq:
+                for later in seq[seq.index(writer) + 1 :]:
+                    if later != tid:
+                        self._rw.add((tid, later))
+
+        # WW and RW-in for writes: this transaction overwrites the
+        # current last version of each object it writes.
+        for obj in sorted(txn.written_objects):
+            seq = self._writers.setdefault(obj, [])
+            for prev in seq:
+                if prev != tid and (prev != self.init_tid or self._known(prev)):
+                    self._ww.add((prev, tid))
+            # Readers of any earlier version of obj gain RW edges to tid.
+            for (reader, robj), version in self._read_version.items():
+                if robj == obj and reader != tid:
+                    # tid overwrites `version` iff version committed
+                    # earlier (it did: it's in seq already).
+                    self._rw.add((reader, tid))
+            seq.append(tid)
+            value = txn.final_write(obj)
+            table = self._value_writer.setdefault(obj, {})
+            if value in table and table[value] != tid:
+                self._collided.setdefault(obj, set()).add(value)
+            table[value] = tid
+
+        violation = self._check(tid)
+        if violation is not None:
+            self.violations.append(violation)
+        return violation
+
+    def _known(self, tid: str) -> bool:
+        return tid in self._records
+
+    def _attribute_read(self, tid: str, obj: Obj, value: Value) -> str:
+        table = self._value_writer.get(obj, {})
+        if self.strict_values and value in self._collided.get(obj, set()):
+            raise MonitorError(
+                f"{tid}: read of {obj}={value!r} is ambiguous — several "
+                f"transactions wrote that value (disable strict_values to "
+                f"attribute to the most recent one)"
+            )
+        if value in table:
+            return table[value]
+        if self.strict_values:
+            raise MonitorError(
+                f"{tid}: read of {obj}={value!r} matches no committed write"
+            )
+        return self.init_tid
+
+    # ------------------------------------------------------------------
+    # Checking
+    # ------------------------------------------------------------------
+
+    def _dependency_relations(self):
+        universe = set(self._records)
+        universe.add(self.init_tid)
+        so = Relation(self._so, universe)
+        wr = Relation(self._wr, universe)
+        ww = Relation(self._ww, universe)
+        rw = Relation(self._rw, universe)
+        return so, wr, ww, rw
+
+    def _check(self, tid: str) -> Optional[Violation]:
+        so, wr, ww, rw = self._dependency_relations()
+        deps = so.union(wr, ww)
+        if self.model == "SER":
+            target = deps.union(rw)
+            bad = not target.is_acyclic()
+        elif self.model == "SI":
+            target = deps.compose(rw.reflexive())
+            bad = not target.is_acyclic()
+        else:  # PSI
+            target = deps.transitive_closure().compose(rw.reflexive())
+            bad = not target.is_irreflexive()
+            if bad:
+                # Build a representative loop for the witness.
+                loops = [a for a, b in target if a == b]
+                return Violation(
+                    model=self.model,
+                    tid=tid,
+                    cycle=[loops[0], loops[0]],
+                    message=(
+                        f"{self.model} violated at commit of {tid}: "
+                        f"transaction {loops[0]} reaches itself through "
+                        f"dependencies followed by an anti-dependency"
+                    ),
+                )
+        if not bad:
+            return None
+        cycle = target.find_cycle() or []
+        return Violation(
+            model=self.model,
+            tid=tid,
+            cycle=list(cycle),
+            message=(
+                f"{self.model} violated at commit of {tid}: "
+                f"dependency cycle {' -> '.join(map(str, cycle))}"
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    # Post-mortem views
+    # ------------------------------------------------------------------
+
+    @property
+    def consistent(self) -> bool:
+        """True iff no violation has been detected so far."""
+        return not self.violations
+
+    @property
+    def commit_count(self) -> int:
+        """Number of commits observed."""
+        return len(self._commit_order)
+
+    def dependency_edges(self) -> Dict[str, Set[Tuple[str, str]]]:
+        """The accumulated dependency edges (over tids), for inspection."""
+        return {
+            "SO": set(self._so),
+            "WR": set(self._wr),
+            "WW": set(self._ww),
+            "RW": set(self._rw),
+        }
+
+
+def watch_engine(
+    engine: BaseEngine, model: str = "SI", strict_values: bool = True
+) -> Tuple[ConsistencyMonitor, List[Violation]]:
+    """Replay an engine's committed records through a fresh monitor.
+
+    Returns the monitor and the list of violations found.  The engine's
+    initial values provide the implicit initialisation versions.
+    """
+    monitor = ConsistencyMonitor(
+        model=model,
+        initial_values=dict(engine.initial),
+        strict_values=strict_values,
+        init_tid=engine.init_tid,
+    )
+    violations: List[Violation] = []
+    for record in sorted(engine.committed, key=lambda r: r.commit_ts):
+        violation = monitor.observe_commit(
+            record.tid, record.session, list(record.events)
+        )
+        if violation is not None:
+            violations.append(violation)
+    return monitor, violations
+
+
+def _make_transaction(tid: str, events: Sequence[Op]) -> Transaction:
+    from ..core.events import Event
+
+    return Transaction(
+        tid, tuple(Event(i, op) for i, op in enumerate(events))
+    )

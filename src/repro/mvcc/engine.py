@@ -1,0 +1,248 @@
+"""Engine plumbing shared by the SI / serializable / PSI implementations.
+
+An *engine* executes transactions operationally and records everything
+needed to reconstruct the declarative objects of the theory:
+
+* the client-visible :class:`~repro.core.histories.History` (committed
+  transactions grouped into sessions, initialisation included);
+* an :class:`~repro.core.executions.AbstractExecution` whose VIS/CO
+  reflect what the implementation actually did (which snapshot each
+  transaction took, in which order transactions committed).
+
+The engines are single-process and deterministic: all interleaving is
+decided by the caller (directly or through
+:mod:`repro.mvcc.runtime`'s scheduler), so anomaly runs are replayable.
+
+Transactions follow the client discipline of Section 5: an aborted
+transaction raises :class:`TransactionAborted` and is expected to be
+resubmitted by the client until it commits (the scheduler does this
+automatically).
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Set, Tuple
+
+from ..core.errors import StoreError, TransactionAborted
+from ..core.events import Obj, Op, Value, read as read_op, write as write_op
+from ..core.executions import AbstractExecution
+from ..core.histories import History
+from ..core.relations import Relation
+from ..core.transactions import Transaction
+
+
+class TxStatus(enum.Enum):
+    """Lifecycle of an engine transaction."""
+
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class TxContext:
+    """The mutable state of one running transaction.
+
+    Attributes:
+        tid: engine-assigned transaction id.
+        session: the session the transaction belongs to.
+        start_ts: snapshot timestamp (SI/SER engines) or -1 (PSI).
+        write_buffer: uncommitted writes (read-your-writes source).
+        events: the operations performed, in program order, with the
+            values actually read — the future transaction's event list.
+        status: lifecycle state.
+    """
+
+    tid: str
+    session: str
+    start_ts: int
+    write_buffer: Dict[Obj, Value] = field(default_factory=dict)
+    events: List[Op] = field(default_factory=list)
+    status: TxStatus = TxStatus.ACTIVE
+
+    def ensure_active(self) -> None:
+        """Raise :class:`StoreError` unless the transaction is active."""
+        if self.status is not TxStatus.ACTIVE:
+            raise StoreError(
+                f"transaction {self.tid} is {self.status.value}, not active"
+            )
+
+
+@dataclass(frozen=True)
+class CommitRecord:
+    """What the engine remembers about a committed transaction."""
+
+    tid: str
+    session: str
+    start_ts: int
+    commit_ts: int
+    events: Tuple[Op, ...]
+    writes: Mapping[Obj, Value]
+    visible_tids: frozenset
+    """The committed transactions included in this one's snapshot."""
+
+
+@dataclass
+class EngineStats:
+    """Commit/abort counters, including abort reasons."""
+
+    commits: int = 0
+    aborts: int = 0
+    abort_reasons: Dict[str, int] = field(default_factory=dict)
+
+    def record_abort(self, reason: str) -> None:
+        """Count one abort with its reason key."""
+        self.aborts += 1
+        self.abort_reasons[reason] = self.abort_reasons.get(reason, 0) + 1
+
+
+class BaseEngine(abc.ABC):
+    """Common API of the operational engines.
+
+    Subclasses implement :meth:`begin`, :meth:`read` and :meth:`commit`;
+    writes and aborts are shared.  Sessions are identified by strings;
+    within a session the caller must run transactions sequentially (the
+    engines check this).
+    """
+
+    def __init__(self, initial: Mapping[Obj, Value], init_tid: str = "t_init"):
+        if not initial:
+            raise StoreError("engine needs at least one initial object")
+        self.initial: Dict[Obj, Value] = dict(initial)
+        self.init_tid = init_tid
+        self.stats = EngineStats()
+        self.committed: List[CommitRecord] = []
+        self._next_tid = 1
+        self._open_sessions: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Transaction API
+    # ------------------------------------------------------------------
+
+    def begin(self, session: str) -> TxContext:
+        """Start a transaction in ``session`` (one at a time per session)."""
+        if session in self._open_sessions:
+            raise StoreError(
+                f"session {session!r} already has an active transaction"
+            )
+        self._open_sessions.add(session)
+        ctx = self._make_context(session)
+        return ctx
+
+    def _allocate_tid(self) -> str:
+        tid = f"t{self._next_tid}"
+        self._next_tid += 1
+        return tid
+
+    @abc.abstractmethod
+    def _make_context(self, session: str) -> TxContext:
+        """Create the context (take the snapshot)."""
+
+    @abc.abstractmethod
+    def read(self, ctx: TxContext, obj: Obj) -> Value:
+        """Read ``obj``: own writes first, then the snapshot."""
+
+    def write(self, ctx: TxContext, obj: Obj, value: Value) -> None:
+        """Buffer a write of ``value`` to ``obj``."""
+        ctx.ensure_active()
+        if obj not in self.initial:
+            raise StoreError(f"unknown object {obj!r}")
+        ctx.write_buffer[obj] = value
+        ctx.events.append(write_op(obj, value))
+
+    @abc.abstractmethod
+    def commit(self, ctx: TxContext) -> CommitRecord:
+        """Validate and commit; raise :class:`TransactionAborted` on
+        conflict (the transaction is then aborted and must be retried as
+        a fresh transaction)."""
+
+    def abort(self, ctx: TxContext, reason: str = "client abort") -> None:
+        """Abort an active transaction (also used internally on
+        validation failure)."""
+        ctx.ensure_active()
+        ctx.status = TxStatus.ABORTED
+        self._open_sessions.discard(ctx.session)
+        self.stats.record_abort(reason)
+
+    def _finish_commit(self, ctx: TxContext, record: CommitRecord) -> None:
+        ctx.status = TxStatus.COMMITTED
+        self._open_sessions.discard(ctx.session)
+        self.committed.append(record)
+        self.stats.commits += 1
+
+    def _validation_failure(
+        self, ctx: TxContext, reason: str
+    ) -> TransactionAborted:
+        """Abort ``ctx`` and build the exception to raise."""
+        self.abort(ctx, reason)
+        return TransactionAborted(ctx.tid, reason)
+
+    def _record_read(self, ctx: TxContext, obj: Obj, value: Value) -> Value:
+        ctx.events.append(read_op(obj, value))
+        return value
+
+    # ------------------------------------------------------------------
+    # Reconstruction of declarative objects
+    # ------------------------------------------------------------------
+
+    def initialisation(self) -> Transaction:
+        """The initialisation transaction implied by the initial state."""
+        from ..core.transactions import transaction
+
+        ops = [write_op(obj, self.initial[obj]) for obj in sorted(self.initial)]
+        return transaction(self.init_tid, *ops)
+
+    def history(self) -> History:
+        """The history of committed transactions, initialisation first.
+
+        Sessions appear in first-commit order; within a session,
+        transactions appear in execution order.
+        """
+        sessions: Dict[str, List[Transaction]] = {}
+        order: List[str] = []
+        for rec in self.committed:
+            t = Transaction(
+                rec.tid,
+                tuple(
+                    _indexed_event(i, op) for i, op in enumerate(rec.events)
+                ),
+            )
+            if rec.session not in sessions:
+                sessions[rec.session] = []
+                order.append(rec.session)
+            sessions[rec.session].append(t)
+        all_sessions = [(self.initialisation(),)] + [
+            tuple(sessions[s]) for s in order
+        ]
+        return History(tuple(all_sessions))
+
+    def abstract_execution(self) -> AbstractExecution:
+        """The abstract execution realised by this run.
+
+        VIS edges are the recorded snapshot inclusions (plus the
+        initialisation transaction, visible to everyone); CO follows the
+        engine's commit timestamps.
+        """
+        h = self.history()
+        by_tid = {t.tid: t for t in h.transactions}
+        init = by_tid[self.init_tid]
+        vis: Set[Tuple[Transaction, Transaction]] = set()
+        records = sorted(self.committed, key=lambda r: r.commit_ts)
+        co_sequence = [init] + [by_tid[r.tid] for r in records]
+        for rec in records:
+            s = by_tid[rec.tid]
+            vis.add((init, s))
+            for tid in rec.visible_tids:
+                if tid in by_tid and tid != rec.tid:
+                    vis.add((by_tid[tid], s))
+        co = Relation.total_order(co_sequence)
+        return AbstractExecution(h, Relation(vis, h.transactions), co)
+
+
+def _indexed_event(index: int, op: Op):
+    from ..core.events import Event
+
+    return Event(index, op)

@@ -1,0 +1,156 @@
+"""A lock-based serializable engine: strict two-phase locking, no-wait.
+
+The OCC baseline (:class:`~repro.mvcc.serializable.SerializableEngine`)
+detects conflicts at commit time; this engine is the classical pessimistic
+alternative the databases of the paper's era actually ran for
+serializability:
+
+* a transaction acquires a shared lock before reading and an exclusive
+  lock before writing (upgrading held shared locks);
+* locks are held to commit/abort (strictness), guaranteeing conflict
+  serializability in lock-acquisition order;
+* lock conflicts follow the **no-wait** policy: a transaction that would
+  block aborts immediately (clients retry per §5's discipline).  No-wait
+  avoids deadlock entirely — convenient in our cooperative single-thread
+  scheduler, where a blocked generator would stall the whole run.
+
+Writes go through the same multi-version store as the other engines (so
+histories/executions are reconstructed identically); reads return the
+latest committed version, which under S2PL is also the version at the
+reader's serialisation point.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Mapping, Optional, Set
+
+from ..core.errors import TransactionAborted
+from ..core.events import Obj, Value
+from .engine import BaseEngine, CommitRecord, TxContext
+from .store import MVStore
+
+
+class LockMode(enum.Enum):
+    """Lock modes of the classic shared/exclusive table."""
+
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+class LockTable:
+    """A per-object S/X lock table with no-wait conflict resolution."""
+
+    def __init__(self):
+        self._shared: Dict[Obj, Set[str]] = {}
+        self._exclusive: Dict[Obj, str] = {}
+
+    def holders(self, obj: Obj) -> Set[str]:
+        """All transactions holding any lock on ``obj``."""
+        out = set(self._shared.get(obj, set()))
+        if obj in self._exclusive:
+            out.add(self._exclusive[obj])
+        return out
+
+    def can_acquire(self, tid: str, obj: Obj, mode: LockMode) -> bool:
+        """Whether ``tid`` may take the lock right now."""
+        exclusive = self._exclusive.get(obj)
+        if exclusive is not None and exclusive != tid:
+            return False
+        if mode is LockMode.EXCLUSIVE:
+            others = self._shared.get(obj, set()) - {tid}
+            return not others
+        return True
+
+    def acquire(self, tid: str, obj: Obj, mode: LockMode) -> bool:
+        """Try to take (or upgrade to) the lock; False on conflict."""
+        if not self.can_acquire(tid, obj, mode):
+            return False
+        if mode is LockMode.SHARED:
+            if self._exclusive.get(obj) == tid:
+                return True  # X subsumes S
+            self._shared.setdefault(obj, set()).add(tid)
+        else:
+            self._shared.get(obj, set()).discard(tid)
+            self._exclusive[obj] = tid
+        return True
+
+    def release_all(self, tid: str) -> None:
+        """Drop every lock held by ``tid`` (commit/abort)."""
+        for holders in self._shared.values():
+            holders.discard(tid)
+        for obj in [o for o, t in self._exclusive.items() if t == tid]:
+            del self._exclusive[obj]
+
+
+class TwoPhaseLockingEngine(BaseEngine):
+    """Strict 2PL with no-wait conflict handling — always serializable."""
+
+    def __init__(self, initial: Mapping[Obj, Value], init_tid: str = "t_init"):
+        super().__init__(initial, init_tid)
+        self.store = MVStore(initial, init_writer=init_tid)
+        self.locks = LockTable()
+        self._clock = 0
+
+    def _make_context(self, session: str) -> TxContext:
+        # start_ts records begin time for bookkeeping; reads do not use
+        # it (S2PL reads current committed state under lock).
+        return TxContext(
+            tid=self._allocate_tid(), session=session, start_ts=self._clock
+        )
+
+    def read(self, ctx: TxContext, obj: Obj) -> Value:
+        """Acquire a shared lock, then read the latest committed value
+        (own buffered writes first)."""
+        ctx.ensure_active()
+        if obj in ctx.write_buffer:
+            return self._record_read(ctx, obj, ctx.write_buffer[obj])
+        if not self.locks.acquire(ctx.tid, obj, LockMode.SHARED):
+            raise self._lock_failure(ctx, obj, LockMode.SHARED)
+        version = self.store.latest(obj)
+        return self._record_read(ctx, obj, version.value)
+
+    def write(self, ctx: TxContext, obj: Obj, value: Value) -> None:
+        """Acquire an exclusive lock, then buffer the write."""
+        ctx.ensure_active()
+        if not self.locks.acquire(ctx.tid, obj, LockMode.EXCLUSIVE):
+            raise self._lock_failure(ctx, obj, LockMode.EXCLUSIVE)
+        super().write(ctx, obj, value)
+
+    def commit(self, ctx: TxContext) -> CommitRecord:
+        """Install the writes and release all locks (strictness)."""
+        ctx.ensure_active()
+        self._clock += 1
+        commit_ts = self._clock
+        if ctx.write_buffer:
+            self.store.install(ctx.write_buffer, commit_ts, ctx.tid)
+        record = CommitRecord(
+            tid=ctx.tid,
+            session=ctx.session,
+            start_ts=ctx.start_ts,
+            commit_ts=commit_ts,
+            events=tuple(ctx.events),
+            writes=dict(ctx.write_buffer),
+            # Under strict 2PL a committed transaction logically observed
+            # everything that committed before it.
+            visible_tids=frozenset(rec.tid for rec in self.committed),
+        )
+        self.locks.release_all(ctx.tid)
+        self._finish_commit(ctx, record)
+        return record
+
+    def abort(self, ctx: TxContext, reason: str = "client abort") -> None:
+        """Abort and release every held lock (strictness)."""
+        self.locks.release_all(ctx.tid)
+        super().abort(ctx, reason)
+
+    def _lock_failure(
+        self, ctx: TxContext, obj: Obj, mode: LockMode
+    ) -> TransactionAborted:
+        holders = sorted(self.locks.holders(obj) - {ctx.tid})
+        self.locks.release_all(ctx.tid)
+        return self._validation_failure(
+            ctx,
+            f"no-wait 2PL: {mode.value} lock on {obj!r} "
+            f"blocked by {holders}",
+        )

@@ -1,0 +1,225 @@
+"""A replicated parallel-SI engine (Definition 20; Sovran et al. [31]).
+
+Parallel SI weakens SI by dropping PREFIX while keeping visibility
+transitive (TRANSVIS): transactions on different replicas may observe two
+independent writes in different orders — the *long fork* of Figure 2(c).
+
+The engine models a geo-replicated store:
+
+* each session is pinned to a replica (by default its own); a transaction
+  reads a snapshot of its replica's *current local state* at start;
+* commit performs global write-conflict detection (NOCONFLICT: every
+  committed writer of an object I wrote must be in my snapshot), applies
+  the writes at the local replica immediately, and queues asynchronous
+  deliveries to the other replicas;
+* deliveries are causal: a transaction can be applied at a remote replica
+  only after everything visible to it has been applied there
+  (:meth:`PSIEngine.deliver` enforces the precondition), which yields
+  transitive visibility.
+
+Delivery timing is under caller control (:meth:`deliver`,
+:meth:`deliver_all`, or ``auto_deliver=True`` for SI-like eager
+propagation), so long forks are reproducible deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..core.errors import ScheduleError, StoreError, TransactionAborted
+from ..core.events import Obj, Value
+from .engine import BaseEngine, CommitRecord, TxContext
+
+
+@dataclass
+class Replica:
+    """One replica: its current object state and the set of transactions
+    applied to it (the initialisation writes are implicit)."""
+
+    name: str
+    state: Dict[Obj, Value]
+    applied: Set[str] = field(default_factory=set)
+
+
+class PSIEngine(BaseEngine):
+    """Replicated parallel snapshot isolation with causal, asynchronous
+    propagation and global write-conflict detection."""
+
+    def __init__(
+        self,
+        initial: Mapping[Obj, Value],
+        init_tid: str = "t_init",
+        session_replicas: Optional[Mapping[str, str]] = None,
+        auto_deliver: bool = False,
+    ):
+        """
+        Args:
+            initial: the initial object values (replicated everywhere).
+            init_tid: id of the initialisation transaction.
+            session_replicas: optional session → replica-name pinning;
+                sessions not mentioned get a dedicated replica
+                ``r_<session>``.
+            auto_deliver: when True, every commit is propagated to all
+                replicas immediately (useful as an "SI-like" reference
+                configuration in benchmarks).
+        """
+        super().__init__(initial, init_tid)
+        self._session_replicas: Dict[str, str] = dict(session_replicas or {})
+        self._replicas: Dict[str, Replica] = {}
+        self._commit_index = 0
+        self._snapshots: Dict[str, Tuple[Dict[Obj, Value], frozenset]] = {}
+        self._writers_per_obj: Dict[Obj, List[str]] = {}
+        self._records_by_tid: Dict[str, CommitRecord] = {}
+        self._pending: Set[Tuple[str, str]] = set()  # (tid, replica name)
+        self.auto_deliver = auto_deliver
+
+    # ------------------------------------------------------------------
+    # Replica management
+    # ------------------------------------------------------------------
+
+    def replica_of(self, session: str) -> Replica:
+        """The replica serving ``session`` (created on first use)."""
+        name = self._session_replicas.get(session, f"r_{session}")
+        self._session_replicas[session] = name
+        if name not in self._replicas:
+            self._replicas[name] = Replica(name, dict(self.initial))
+            # A replica created after some commits must still receive
+            # them: backfill its delivery queue.
+            for tid in self._records_by_tid:
+                self._pending.add((tid, name))
+            if self.auto_deliver:
+                self.deliver_all()
+        return self._replicas[name]
+
+    @property
+    def replicas(self) -> Dict[str, Replica]:
+        """All replicas by name."""
+        return dict(self._replicas)
+
+    # ------------------------------------------------------------------
+    # BaseEngine hooks
+    # ------------------------------------------------------------------
+
+    def _make_context(self, session: str) -> TxContext:
+        replica = self.replica_of(session)
+        ctx = TxContext(
+            tid=self._allocate_tid(), session=session, start_ts=-1
+        )
+        self._snapshots[ctx.tid] = (
+            dict(replica.state),
+            frozenset(replica.applied),
+        )
+        return ctx
+
+    def read(self, ctx: TxContext, obj: Obj) -> Value:
+        """Read from the write buffer, else from the replica snapshot."""
+        ctx.ensure_active()
+        if obj in ctx.write_buffer:
+            return self._record_read(ctx, obj, ctx.write_buffer[obj])
+        snapshot, _ = self._snapshots[ctx.tid]
+        if obj not in snapshot:
+            raise StoreError(f"unknown object {obj!r}")
+        return self._record_read(ctx, obj, snapshot[obj])
+
+    def commit(self, ctx: TxContext) -> CommitRecord:
+        """Global NOCONFLICT validation, local apply, queue propagation."""
+        ctx.ensure_active()
+        _, visible = self._snapshots[ctx.tid]
+        for obj in sorted(ctx.write_buffer):
+            for writer in self._writers_per_obj.get(obj, ()):
+                if writer not in visible:
+                    raise self._validation_failure(
+                        ctx,
+                        f"write-write conflict on {obj!r}: concurrent "
+                        f"committed writer {writer}",
+                    )
+        self._commit_index += 1
+        record = CommitRecord(
+            tid=ctx.tid,
+            session=ctx.session,
+            start_ts=ctx.start_ts,
+            commit_ts=self._commit_index,
+            events=tuple(ctx.events),
+            writes=dict(ctx.write_buffer),
+            visible_tids=visible,
+        )
+        self._records_by_tid[ctx.tid] = record
+        for obj in ctx.write_buffer:
+            self._writers_per_obj.setdefault(obj, []).append(ctx.tid)
+        # Apply locally, queue remote deliveries.
+        local = self.replica_of(ctx.session)
+        self._apply(record, local)
+        for name in self._replicas:
+            if name != local.name:
+                self._pending.add((ctx.tid, name))
+        self._finish_commit(ctx, record)
+        self._snapshots.pop(ctx.tid, None)
+        if self.auto_deliver:
+            self.deliver_all()
+        return record
+
+    def abort(self, ctx: TxContext, reason: str = "client abort") -> None:
+        """Abort and discard the replica snapshot."""
+        super().abort(ctx, reason)
+        self._snapshots.pop(ctx.tid, None)
+
+    # ------------------------------------------------------------------
+    # Propagation
+    # ------------------------------------------------------------------
+
+    def _apply(self, record: CommitRecord, replica: Replica) -> None:
+        replica.state.update(record.writes)
+        replica.applied.add(record.tid)
+
+    def deliverable(self, tid: str, replica_name: str) -> bool:
+        """Whether ``tid`` can be applied at the replica now — everything
+        it observed must already be applied there (causal delivery)."""
+        if (tid, replica_name) not in self._pending:
+            return False
+        record = self._records_by_tid[tid]
+        replica = self._replicas[replica_name]
+        return record.visible_tids <= replica.applied
+
+    def deliver(self, tid: str, replica_name: str) -> None:
+        """Apply a committed transaction at a remote replica.
+
+        Raises:
+            ScheduleError: if the delivery is not pending or would violate
+                causality.
+        """
+        if (tid, replica_name) not in self._pending:
+            raise ScheduleError(
+                f"no pending delivery of {tid} to {replica_name}"
+            )
+        if not self.deliverable(tid, replica_name):
+            raise ScheduleError(
+                f"delivery of {tid} to {replica_name} violates causality"
+            )
+        self._apply(self._records_by_tid[tid], self._replicas[replica_name])
+        self._pending.discard((tid, replica_name))
+
+    def pending_deliveries(self) -> List[Tuple[str, str]]:
+        """Pending (tid, replica) deliveries, deterministic order."""
+        return sorted(self._pending)
+
+    def deliverable_deliveries(self) -> List[Tuple[str, str]]:
+        """Pending deliveries whose causal preconditions are met."""
+        return [
+            (tid, name)
+            for tid, name in self.pending_deliveries()
+            if self.deliverable(tid, name)
+        ]
+
+    def deliver_all(self) -> int:
+        """Drain the delivery queue (respecting causality); returns the
+        number of deliveries performed."""
+        count = 0
+        progressed = True
+        while progressed:
+            progressed = False
+            for tid, name in self.deliverable_deliveries():
+                self.deliver(tid, name)
+                count += 1
+                progressed = True
+        return count

@@ -1,0 +1,152 @@
+"""A multi-version object store.
+
+The operational substrate keeps, per object, the full list of committed
+versions tagged with the commit timestamp and writer transaction.  Reads
+at a snapshot timestamp return the latest version no newer than the
+snapshot — exactly the "reads from a snapshot taken at start" behaviour of
+the idealised SI algorithm sketched in the paper's introduction.
+
+Initial versions are installed at timestamp 0 by a designated
+initialisation writer (default tid ``t_init``), mirroring the paper's
+special transaction writing initial values of all objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..core.errors import SnapshotTooOld, StoreError
+from ..core.events import Obj, Value
+
+INIT_WRITER = "t_init"
+"""Default tid of the initialisation writer."""
+
+
+@dataclass(frozen=True)
+class Version:
+    """One committed version of an object.
+
+    Attributes:
+        value: the stored value.
+        commit_ts: the writer's commit timestamp (0 for initial versions).
+        writer: the tid of the writing transaction.
+    """
+
+    value: Value
+    commit_ts: int
+    writer: str
+
+
+class MVStore:
+    """A multi-version store keyed by object name.
+
+    Versions per object are kept sorted by commit timestamp; timestamps
+    are assigned by the engines (strictly increasing), so at most one
+    version per object per timestamp exists.
+    """
+
+    def __init__(
+        self,
+        initial: Mapping[Obj, Value],
+        init_writer: str = INIT_WRITER,
+    ):
+        if not initial:
+            raise StoreError("store needs at least one initial object")
+        self._versions: Dict[Obj, List[Version]] = {
+            obj: [Version(value, 0, init_writer)]
+            for obj, value in initial.items()
+        }
+        self.init_writer = init_writer
+        self.initial: Dict[Obj, Value] = dict(initial)
+
+    @property
+    def objects(self) -> List[Obj]:
+        """All objects the store knows about (sorted)."""
+        return sorted(self._versions)
+
+    def versions(self, obj: Obj) -> List[Version]:
+        """All committed versions of ``obj``, oldest first."""
+        try:
+            return list(self._versions[obj])
+        except KeyError:
+            raise StoreError(f"unknown object {obj!r}") from None
+
+    def read_at(self, obj: Obj, snapshot_ts: int) -> Version:
+        """The latest version of ``obj`` with ``commit_ts <= snapshot_ts``.
+
+        This is the snapshot read of the idealised SI algorithm.
+
+        Raises:
+            SnapshotTooOld: when garbage collection discarded every
+                version old enough for the snapshot (newer versions
+                exist, so the object is known but its history is gone).
+        """
+        versions = self.versions(obj)
+        candidates = [v for v in versions if v.commit_ts <= snapshot_ts]
+        if not candidates:
+            raise SnapshotTooOld(
+                f"no version of {obj!r} at or before timestamp "
+                f"{snapshot_ts}: vacuumed (oldest retained is "
+                f"{versions[0].commit_ts})"
+            )
+        return candidates[-1]
+
+    def vacuum(self, horizon_ts: int) -> int:
+        """Discard versions superseded at or before ``horizon_ts``.
+
+        For each object, the newest version with
+        ``commit_ts <= horizon_ts`` is retained (it is still the visible
+        version for snapshots at the horizon), along with everything
+        newer; older versions are discarded.  Returns the number of
+        versions dropped.
+        """
+        dropped = 0
+        for obj, versions in self._versions.items():
+            keep_from = 0
+            for i, version in enumerate(versions):
+                if version.commit_ts <= horizon_ts:
+                    keep_from = i
+            if keep_from > 0:
+                dropped += keep_from
+                self._versions[obj] = versions[keep_from:]
+        return dropped
+
+    def latest(self, obj: Obj) -> Version:
+        """The newest committed version of ``obj``."""
+        return self.versions(obj)[-1]
+
+    def latest_commit_ts(self, obj: Obj) -> int:
+        """The commit timestamp of the newest version of ``obj``."""
+        return self.latest(obj).commit_ts
+
+    def modified_since(self, obj: Obj, ts: int) -> bool:
+        """True iff some committed version of ``obj`` is newer than ``ts``.
+
+        This is the first-committer-wins write-conflict test: a committing
+        transaction with start timestamp ``ts`` must abort if any object it
+        wrote was modified since.
+        """
+        return self.latest_commit_ts(obj) > ts
+
+    def install(
+        self, writes: Mapping[Obj, Value], commit_ts: int, writer: str
+    ) -> None:
+        """Atomically install a transaction's writes at ``commit_ts``."""
+        for obj in writes:
+            if obj not in self._versions:
+                raise StoreError(f"unknown object {obj!r}")
+            if self._versions[obj][-1].commit_ts >= commit_ts:
+                raise StoreError(
+                    f"commit timestamp {commit_ts} not newer than latest "
+                    f"version of {obj!r}"
+                )
+        for obj, value in writes.items():
+            self._versions[obj].append(Version(value, commit_ts, writer))
+
+    def snapshot_at(self, snapshot_ts: int) -> Dict[Obj, Value]:
+        """The full object state visible at ``snapshot_ts`` (diagnostics)."""
+        return {
+            obj: self.read_at(obj, snapshot_ts).value
+            for obj in self._versions
+        }

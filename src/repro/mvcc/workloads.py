@@ -1,0 +1,233 @@
+"""Workload generators for the operational engines.
+
+Scenario workloads reproduce the paper's motivating examples (write skew,
+lost update, long fork, chopped transfers) as transaction programs for the
+:class:`~repro.mvcc.runtime.Scheduler`; the random workload generator
+drives the cross-validation experiments (operational runs vs. the
+axiomatic oracle) and the engine benchmarks.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Mapping, Sequence, Tuple
+
+from ..core.events import Obj, Value
+from .runtime import ReadOp, TxProgram, WriteOp
+
+
+# ----------------------------------------------------------------------
+# Scenario programs (Figures 2 and 4)
+# ----------------------------------------------------------------------
+
+
+def withdraw_program(
+    target: Obj, other: Obj, amount: int = 100, threshold: int = 100
+) -> TxProgram:
+    """The write-skew withdrawal of Section 1 / Figure 2(d): withdraw
+    ``amount`` from ``target`` if the combined balance exceeds
+    ``threshold``."""
+
+    def program():
+        own = yield ReadOp(target)
+        their = yield ReadOp(other)
+        if own + their > threshold:
+            yield WriteOp(target, own - amount)
+
+    return program
+
+
+def deposit_program(acct: Obj, amount: int) -> TxProgram:
+    """The lost-update deposit of Figure 2(b): read-modify-write."""
+
+    def program():
+        balance = yield ReadOp(acct)
+        yield WriteOp(acct, balance + amount)
+
+    return program
+
+
+def blind_write_program(obj: Obj, value: Value) -> TxProgram:
+    """Write ``value`` to ``obj`` without reading (Figure 2(c)'s
+    writers)."""
+
+    def program():
+        yield WriteOp(obj, value)
+
+    return program
+
+
+def read_pair_program(first: Obj, second: Obj) -> TxProgram:
+    """Read two objects in order (Figure 2(c)'s readers)."""
+
+    def program():
+        yield ReadOp(first)
+        yield ReadOp(second)
+
+    return program
+
+
+def transfer_piece_program(acct: Obj, delta: int) -> TxProgram:
+    """One piece of the chopped transfer of Figure 4: adjust a single
+    account by ``delta``."""
+
+    def program():
+        balance = yield ReadOp(acct)
+        yield WriteOp(acct, balance + delta)
+
+    return program
+
+
+def chopped_transfer_session(
+    source: Obj = "acct1", dest: Obj = "acct2", amount: int = 100
+) -> List[TxProgram]:
+    """The ``transfer`` session of Figure 4, chopped into two
+    transactions: debit then credit."""
+    return [
+        transfer_piece_program(source, -amount),
+        transfer_piece_program(dest, amount),
+    ]
+
+
+def lookup_program(*accts: Obj) -> TxProgram:
+    """Read the given accounts in one transaction (``lookupAll`` /
+    ``lookup1`` / ``lookup2`` of Figures 4–6)."""
+
+    def program():
+        for acct in accts:
+            yield ReadOp(acct)
+
+    return program
+
+
+def write_skew_sessions(
+    acct1: Obj = "acct1", acct2: Obj = "acct2"
+) -> Dict[str, List[TxProgram]]:
+    """Two sessions racing the Figure 2(d) withdrawals."""
+    return {
+        "alice": [withdraw_program(acct1, acct2)],
+        "bob": [withdraw_program(acct2, acct1)],
+    }
+
+
+def lost_update_sessions(acct: Obj = "acct") -> Dict[str, List[TxProgram]]:
+    """Two sessions racing the Figure 2(b) deposits."""
+    return {
+        "alice": [deposit_program(acct, 50)],
+        "bob": [deposit_program(acct, 25)],
+    }
+
+
+def long_fork_sessions(
+    x: Obj = "x", y: Obj = "y"
+) -> Dict[str, List[TxProgram]]:
+    """Four sessions of the Figure 2(c) long fork: two writers, two
+    readers observing the writes in opposite orders (on a PSI engine with
+    delayed delivery)."""
+    return {
+        "w1": [blind_write_program(x, 1)],
+        "w2": [blind_write_program(y, 1)],
+        "r1": [read_pair_program(x, y)],
+        "r2": [read_pair_program(x, y)],
+    }
+
+
+# ----------------------------------------------------------------------
+# Random workloads
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RandomWorkload:
+    """A randomly generated multi-session workload.
+
+    Attributes:
+        initial: initial object values (all zero).
+        sessions: session name → transaction programs.
+    """
+
+    initial: Dict[Obj, Value]
+    sessions: Dict[str, List[TxProgram]]
+
+
+def random_workload(
+    seed: int,
+    sessions: int = 3,
+    transactions_per_session: int = 3,
+    objects: int = 4,
+    ops_per_transaction: Tuple[int, int] = (1, 4),
+    write_fraction: float = 0.5,
+) -> RandomWorkload:
+    """Generate a seeded random workload of read/write transactions.
+
+    Written values are globally unique (a running counter), which keeps
+    dependency extraction unambiguous when cross-validating operational
+    runs against the axiomatic membership oracle.
+    """
+    rng = random.Random(seed)
+    objs = [f"x{i}" for i in range(objects)]
+    counter = itertools.count(1)
+
+    def make_program() -> TxProgram:
+        n_ops = rng.randint(*ops_per_transaction)
+        plan: List[Tuple[str, Obj, int]] = []
+        for _ in range(n_ops):
+            obj = rng.choice(objs)
+            if rng.random() < write_fraction:
+                plan.append(("w", obj, next(counter)))
+            else:
+                plan.append(("r", obj, 0))
+
+        def program(plan=tuple(plan)):
+            for kind, obj, value in plan:
+                if kind == "r":
+                    yield ReadOp(obj)
+                else:
+                    yield WriteOp(obj, value)
+
+        return program
+
+    workload_sessions = {
+        f"s{i}": [make_program() for _ in range(transactions_per_session)]
+        for i in range(sessions)
+    }
+    return RandomWorkload(
+        initial={obj: 0 for obj in objs}, sessions=workload_sessions
+    )
+
+
+def contended_counter_workload(
+    seed: int, sessions: int, increments: int, counters: int = 1
+) -> RandomWorkload:
+    """All sessions increment a few shared counters — a high-conflict
+    workload stressing first-committer-wins abort rates (bench E16)."""
+    rng = random.Random(seed)
+    objs = [f"c{i}" for i in range(counters)]
+    workload_sessions = {
+        f"s{i}": [
+            deposit_program(rng.choice(objs), 1) for _ in range(increments)
+        ]
+        for i in range(sessions)
+    }
+    return RandomWorkload(
+        initial={obj: 0 for obj in objs}, sessions=workload_sessions
+    )
+
+
+def disjoint_counter_workload(
+    sessions: int, increments: int
+) -> RandomWorkload:
+    """Each session increments its own counter — a no-conflict workload
+    (the contention-free baseline of bench E16)."""
+    workload_sessions = {
+        f"s{i}": [
+            deposit_program(f"c{i}", 1) for _ in range(increments)
+        ]
+        for i in range(sessions)
+    }
+    return RandomWorkload(
+        initial={f"c{i}": 0 for i in range(sessions)},
+        sessions=workload_sessions,
+    )

@@ -1,0 +1,41 @@
+"""Robustness analyses (Section 6): dynamic criteria and static checks.
+
+Dynamic: decide whether a dependency graph lies in GraphSI \\ GraphSER
+(Theorem 19) or GraphPSI \\ GraphSI (Theorem 22).  Static: prove from
+read/write sets that an application is robust against SI (towards
+serializability) or against parallel SI (towards SI).
+"""
+
+from .dynamic import (
+    exhibits_psi_only_behaviour,
+    exhibits_psi_only_behaviour_by_cycles,
+    exhibits_si_only_behaviour,
+    exhibits_si_only_behaviour_by_cycles,
+    psi_anomaly_witness,
+    si_anomaly_witness,
+)
+from .static import (
+    RobustnessVerdict,
+    check_robustness_against_si,
+    check_robustness_psi_to_si,
+    robust_against_si,
+    robust_psi_to_si,
+    robustness_report,
+    static_dependency_graph,
+)
+
+__all__ = [
+    "exhibits_si_only_behaviour",
+    "exhibits_si_only_behaviour_by_cycles",
+    "exhibits_psi_only_behaviour",
+    "exhibits_psi_only_behaviour_by_cycles",
+    "si_anomaly_witness",
+    "psi_anomaly_witness",
+    "static_dependency_graph",
+    "RobustnessVerdict",
+    "check_robustness_against_si",
+    "check_robustness_psi_to_si",
+    "robust_against_si",
+    "robust_psi_to_si",
+    "robustness_report",
+]

@@ -1,0 +1,94 @@
+"""Dynamic robustness criteria (Theorems 19 and 22).
+
+* **Theorem 19** — ``G ∈ GraphSI \\ GraphSER`` iff ``T_G ⊨ INT``, ``G``
+  contains a cycle, and all its cycles have at least two *adjacent*
+  anti-dependency edges.  A dependency graph in this difference witnesses
+  behaviour possible under SI but not under serializability; an
+  application none of whose graphs fall in it is *robust against SI*.
+* **Theorem 22** — ``G ∈ GraphPSI \\ GraphSI`` iff ``T_G ⊨ INT``, ``G``
+  contains at least one cycle with *no* adjacent anti-dependency edges,
+  and all its cycles have at least two anti-dependency edges.  This is
+  the dynamic criterion for robustness *against parallel SI towards SI*.
+
+Both criteria are implemented twice: compositionally (set difference of
+the polynomial graph-class checks) and by direct cycle scans following the
+theorem statements.  Tests verify the two agree — an executable proof
+sketch of the theorems on the explored instances.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..graphs.classify import (
+    cycle_allowed_by_psi,
+    cycle_allowed_by_si,
+    in_graph_psi,
+    in_graph_ser,
+    in_graph_si,
+    to_labeled_digraph,
+)
+from ..graphs.cycles import Cycle, is_antidependency
+from ..graphs.dependency import DependencyGraph
+
+
+def exhibits_si_only_behaviour(graph: DependencyGraph) -> bool:
+    """``G ∈ GraphSI \\ GraphSER`` — the compositional form of Theorem 19.
+
+    True when the graph is realisable under SI but not under
+    serializability (e.g. a write skew).
+    """
+    return in_graph_si(graph) and not in_graph_ser(graph)
+
+
+def exhibits_si_only_behaviour_by_cycles(graph: DependencyGraph) -> bool:
+    """Theorem 19's cycle-based statement, verbatim: INT holds, at least
+    one cycle exists, and every cycle has two adjacent anti-dependencies.
+
+    Exponential; used to cross-validate the compositional form.
+    """
+    if not graph.history.is_internally_consistent():
+        return False
+    labeled = to_labeled_digraph(graph)
+    has_cycle = labeled.find_cycle(lambda c: True) is not None
+    if not has_cycle:
+        return False
+    return labeled.all_cycles_satisfy(cycle_allowed_by_si)
+
+
+def exhibits_psi_only_behaviour(graph: DependencyGraph) -> bool:
+    """``G ∈ GraphPSI \\ GraphSI`` — the compositional form of Theorem 22.
+
+    True when the graph is realisable under parallel SI but not under SI
+    (e.g. a long fork).
+    """
+    return in_graph_psi(graph) and not in_graph_si(graph)
+
+
+def exhibits_psi_only_behaviour_by_cycles(graph: DependencyGraph) -> bool:
+    """Theorem 22's cycle-based statement, verbatim: INT holds, some cycle
+    has no adjacent anti-dependency edges, and all cycles have at least
+    two anti-dependency edges."""
+    if not graph.history.is_internally_consistent():
+        return False
+    labeled = to_labeled_digraph(graph)
+    witness = labeled.find_cycle(
+        lambda c: not c.has_adjacent_pair(is_antidependency)
+    )
+    if witness is None:
+        return False
+    return labeled.all_cycles_satisfy(cycle_allowed_by_psi)
+
+
+def si_anomaly_witness(graph: DependencyGraph) -> Optional[Cycle]:
+    """For a graph in ``GraphSI \\ GraphSER``: a cycle (necessarily with
+    two adjacent anti-dependencies) witnessing non-serializability."""
+    return to_labeled_digraph(graph).find_cycle(lambda c: True)
+
+
+def psi_anomaly_witness(graph: DependencyGraph) -> Optional[Cycle]:
+    """For a graph in ``GraphPSI \\ GraphSI``: a cycle with no adjacent
+    anti-dependency edges (the long-fork-style witness)."""
+    return to_labeled_digraph(graph).find_cycle(
+        lambda c: not c.has_adjacent_pair(is_antidependency)
+    )

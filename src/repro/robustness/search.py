@@ -1,0 +1,146 @@
+"""Polynomial dangerous-cycle searches for the static robustness analyses.
+
+The §6 analyses need two cycle-shape queries over static dependency
+graphs:
+
+* **adjacent anti-dependencies** (Theorem 19's shape): a cycle containing
+  two consecutive RW edges ``a --RW--> b --RW--> c`` (both *vulnerable*,
+  when the refinement is on), closed by any path ``c ⇒ a``;
+* **non-adjacent anti-dependencies** (Theorem 22's shape): a cycle with
+  at least two RW edges, no two of which are cyclically consecutive.
+
+Enumerating simple cycles (as the chopping analyser does on its small
+piece graphs) is exponential and blows up on replicated application
+graphs, which are nearly complete.  Both queries are answered here in
+polynomial time instead:
+
+* the first by scanning RW-edge pairs sharing a middle node and testing
+  plain reachability for the closing path;
+* the second by a BFS over a product automaton with states
+  ``(node, last edge was RW, a second RW was seen)``, started after each
+  candidate "first" RW edge; wrap-around adjacency is handled by
+  accepting only states whose last edge is not an RW.
+
+Note that the dependency-graph cycles of Theorems 19/22 need not be
+vertex-simple (unlike the *critical* cycles of the chopping analyses), so
+closing paths may revisit nodes — which is exactly what makes the
+reachability formulation complete.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Dict, Hashable, List, Optional, Tuple
+
+from ..graphs.cycles import Cycle, EdgeKind, LabeledDigraph, LabeledEdge
+
+EdgePredicate = Callable[[LabeledEdge], bool]
+
+
+def _edges_by_source(
+    graph: LabeledDigraph,
+) -> Dict[Hashable, List[LabeledEdge]]:
+    out: Dict[Hashable, List[LabeledEdge]] = {}
+    for edge in sorted(graph.edges, key=str):
+        out.setdefault(edge.src, []).append(edge)
+    return out
+
+
+def _shortest_path(
+    graph: LabeledDigraph, source: Hashable, target: Hashable
+) -> Optional[List[LabeledEdge]]:
+    """A shortest edge path ``source ⇒ target`` (empty when equal)."""
+    if source == target:
+        return []
+    by_source = _edges_by_source(graph)
+    parent: Dict[Hashable, LabeledEdge] = {}
+    queue = deque([source])
+    seen = {source}
+    while queue:
+        node = queue.popleft()
+        for edge in by_source.get(node, ()):
+            if edge.dst in seen:
+                continue
+            parent[edge.dst] = edge
+            if edge.dst == target:
+                path: List[LabeledEdge] = []
+                cur = target
+                while cur != source:
+                    path.append(parent[cur])
+                    cur = parent[cur].src
+                path.reverse()
+                return path
+            seen.add(edge.dst)
+            queue.append(edge.dst)
+    return None
+
+
+def find_adjacent_rw_cycle(
+    graph: LabeledDigraph,
+    vulnerable: EdgePredicate = lambda edge: True,
+) -> Optional[Cycle]:
+    """A cycle containing two consecutive (vulnerable) RW edges, or None.
+
+    This is the dangerous shape of the robustness-against-SI analysis
+    (§6.1 / Theorem 19).  Runs in O(#RW-pairs × E).
+    """
+    rw_out: Dict[Hashable, List[LabeledEdge]] = {}
+    rw_in: Dict[Hashable, List[LabeledEdge]] = {}
+    for edge in sorted(graph.edges, key=str):
+        if edge.kind is EdgeKind.RW and vulnerable(edge):
+            rw_out.setdefault(edge.src, []).append(edge)
+            rw_in.setdefault(edge.dst, []).append(edge)
+    for middle in sorted(rw_out.keys() & rw_in.keys(), key=str):
+        for first in rw_in[middle]:
+            for second in rw_out[middle]:
+                closing = _shortest_path(graph, second.dst, first.src)
+                if closing is not None:
+                    return Cycle((first, second, *closing))
+    return None
+
+
+def find_nonadjacent_rw_cycle(graph: LabeledDigraph) -> Optional[Cycle]:
+    """A cycle with ≥ 2 RW edges, no two cyclically consecutive, or None.
+
+    This is the dangerous shape of the PSI-towards-SI analysis (§6.2 /
+    Theorem 22).  BFS over ``(node, lastRW, sawSecondRW)`` states per
+    starting RW edge: O(#RW × E).
+    """
+    by_source = _edges_by_source(graph)
+    rw_edges = [
+        e for e in sorted(graph.edges, key=str) if e.kind is EdgeKind.RW
+    ]
+    State = Tuple[Hashable, bool, bool]
+    for start in rw_edges:
+        # The cycle begins with `start`; walk until back at start.src with
+        # the incoming edge non-RW (wrap adjacency) and ≥ 1 further RW.
+        initial: State = (start.dst, True, False)
+        parent: Dict[State, Tuple[State, LabeledEdge]] = {}
+        queue = deque([initial])
+        seen = {initial}
+        goal: Optional[State] = None
+        while queue and goal is None:
+            node, last_rw, saw_rw = queue.popleft()
+            for edge in by_source.get(node, ()):
+                is_rw = edge.kind is EdgeKind.RW
+                if is_rw and last_rw:
+                    continue  # two adjacent RWs: forbidden
+                nxt: State = (edge.dst, is_rw, saw_rw or is_rw)
+                if nxt in seen:
+                    continue
+                seen.add(nxt)
+                parent[nxt] = ((node, last_rw, saw_rw), edge)
+                if nxt == (start.src, False, True):
+                    goal = nxt
+                    break
+                queue.append(nxt)
+        if goal is not None:
+            path: List[LabeledEdge] = []
+            cur = goal
+            while cur != initial:
+                prev, edge = parent[cur]
+                path.append(edge)
+                cur = prev
+            path.reverse()
+            return Cycle((start, *path))
+    return None

@@ -1,0 +1,190 @@
+"""Static robustness analyses (Sections 6.1 and 6.2).
+
+The analyses abstract an application by a set of programs with read and
+write sets (each program is one *whole* transaction — chopping is not
+involved here), build a *static dependency graph* over-approximating the
+dependencies of any execution, and search it for dangerous cycles:
+
+* **Robustness against SI** (§6.1, from Theorem 19): if the static graph
+  has *no cycle with two adjacent anti-dependency edges*, the application
+  produces no history in HistSI \\ HistSER — running it under SI gives
+  exactly the serializable behaviours.
+* **Robustness against parallel SI towards SI** (§6.2, from Theorem 22):
+  if the static graph has *no cycle with at least two anti-dependency
+  edges none of which are adjacent*, the application produces no history
+  in HistPSI \\ HistSI.
+
+Both dangerous-cycle queries run in polynomial time
+(:mod:`repro.robustness.search`), so the analyses scale to replicated
+application graphs (which are nearly complete digraphs).
+
+The static dependency graph has an edge per conflict between *different*
+program nodes.  Because several sessions may run the same program
+concurrently, each program is instantiated ``instances`` times (default 2)
+before the graph is built — the standard device for making read/write-set
+analyses account for self-conflicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..chopping.programs import Program, replicate
+from ..graphs.cycles import (
+    Cycle,
+    EdgeKind,
+    LabeledDigraph,
+    LabeledEdge,
+)
+from .search import find_adjacent_rw_cycle, find_nonadjacent_rw_cycle
+
+
+def static_dependency_graph(
+    programs: Sequence[Program], instances: int = 2
+) -> LabeledDigraph:
+    """The static dependency graph of §6's analyses.
+
+    Nodes are (replicated) program names; edges over-approximate runtime
+    dependencies from the read/write sets:
+
+    * WR when ``W_1 ∩ R_2 ≠ ∅``;
+    * WW when ``W_1 ∩ W_2 ≠ ∅``;
+    * RW when ``R_1 ∩ W_2 ≠ ∅``.
+
+    Args:
+        programs: the application's transaction programs (whole
+            transactions; pieces are merged via ``Program.unchopped``).
+        instances: how many concurrent instances of each program to
+            model (≥ 2 captures conflicts of a program with itself).
+    """
+    if instances < 1:
+        raise ValueError("instances must be >= 1")
+    expanded = replicate(list(programs), instances)
+    graph = LabeledDigraph()
+    whole = [(p.name, p.unchopped().pieces[0]) for p in expanded]
+    for name, _ in whole:
+        graph.add_node(name)
+    for n1, p1 in whole:
+        for n2, p2 in whole:
+            if n1 == n2:
+                continue
+            for obj in sorted(p1.writes & p2.reads):
+                graph.add_edge(LabeledEdge(n1, n2, EdgeKind.WR, obj))
+            for obj in sorted(p1.writes & p2.writes):
+                graph.add_edge(LabeledEdge(n1, n2, EdgeKind.WW, obj))
+            for obj in sorted(p1.reads & p2.writes):
+                graph.add_edge(LabeledEdge(n1, n2, EdgeKind.RW, obj))
+    return graph
+
+
+@dataclass(frozen=True)
+class RobustnessVerdict:
+    """Outcome of a static robustness analysis.
+
+    Attributes:
+        property_name: which robustness property was checked.
+        robust: True when no dangerous cycle exists (sound, conservative).
+        witness: a dangerous cycle otherwise — a potential anomaly shape.
+    """
+
+    property_name: str
+    robust: bool
+    witness: Optional[Cycle]
+
+    def __str__(self) -> str:
+        if self.robust:
+            return f"application is {self.property_name}"
+        return (
+            f"application may not be {self.property_name}; "
+            f"dangerous static cycle: {self.witness}"
+        )
+
+
+def check_robustness_against_si(
+    programs: Sequence[Program],
+    instances: int = 2,
+    require_vulnerable: bool = False,
+) -> RobustnessVerdict:
+    """§6.1's analysis: is the application robust against SI (i.e. does
+    running under SI give only serializable behaviours)?
+
+    Looks for Theorem 19's dangerous shape — a cycle with two adjacent
+    anti-dependency edges — in the static dependency graph.
+
+    Args:
+        programs: the application's transaction programs.
+        instances: concurrent instances modelled per program.
+        require_vulnerable: enable the Fekete-style refinement — only
+            count adjacent anti-dependency pairs whose edges connect
+            programs *without* write-write conflicts (which could thus run
+            concurrently; SI's first-committer-wins serialises
+            write-conflicting pairs).  Off by default to match the
+            paper's plain analysis; turning it on reproduces the
+            dangerous-structure analysis of Fekete et al. [18], e.g.
+            proving TPC-C robust.
+    """
+    graph = static_dependency_graph(programs, instances)
+    if require_vulnerable:
+        expanded = replicate(list(programs), instances)
+        by_name = {p.name: p for p in expanded}
+
+        def vulnerable(edge: LabeledEdge) -> bool:
+            src, dst = by_name[edge.src], by_name[edge.dst]
+            return not (src.writes & dst.writes)
+
+        witness = find_adjacent_rw_cycle(graph, vulnerable)
+    else:
+        witness = find_adjacent_rw_cycle(graph)
+    return RobustnessVerdict(
+        "robust against SI (SI ⇒ serializable)", witness is None, witness
+    )
+
+
+def check_robustness_psi_to_si(
+    programs: Sequence[Program], instances: int = 2
+) -> RobustnessVerdict:
+    """§6.2's analysis: is the application robust against parallel SI
+    towards SI (i.e. does running under PSI give only SI behaviours)?
+
+    Looks for Theorem 22's dangerous shape — a cycle with at least two
+    anti-dependency edges, no two adjacent — in the static graph.
+    """
+    graph = static_dependency_graph(programs, instances)
+    witness = find_nonadjacent_rw_cycle(graph)
+    return RobustnessVerdict(
+        "robust against parallel SI towards SI (PSI ⇒ SI)",
+        witness is None,
+        witness,
+    )
+
+
+def robust_against_si(
+    programs: Sequence[Program],
+    instances: int = 2,
+    require_vulnerable: bool = False,
+) -> bool:
+    """Boolean form of :func:`check_robustness_against_si`."""
+    return check_robustness_against_si(
+        programs, instances, require_vulnerable
+    ).robust
+
+
+def robust_psi_to_si(
+    programs: Sequence[Program], instances: int = 2
+) -> bool:
+    """Boolean form of :func:`check_robustness_psi_to_si`."""
+    return check_robustness_psi_to_si(programs, instances).robust
+
+
+def robustness_report(
+    applications: Dict[str, Sequence[Program]], instances: int = 2
+) -> Dict[str, Dict[str, bool]]:
+    """Robustness of several applications under both properties."""
+    return {
+        name: {
+            "SI=>SER": robust_against_si(programs, instances),
+            "PSI=>SI": robust_psi_to_si(programs, instances),
+        }
+        for name, programs in applications.items()
+    }

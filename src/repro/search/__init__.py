@@ -1,0 +1,27 @@
+"""Random generation and exhaustive exploration utilities."""
+
+from .random_graphs import (
+    graph_from_si_run,
+    random_dependency_graph,
+    random_graphsi_graph,
+)
+from .random_executions import random_si_execution
+from .enumerate import (
+    Run,
+    distinct_histories,
+    enumerate_tiny_histories,
+    explore_runs,
+    history_key,
+)
+
+__all__ = [
+    "random_dependency_graph",
+    "random_graphsi_graph",
+    "graph_from_si_run",
+    "random_si_execution",
+    "Run",
+    "explore_runs",
+    "enumerate_tiny_histories",
+    "distinct_histories",
+    "history_key",
+]

@@ -1,0 +1,206 @@
+"""Exhaustive exploration of engine schedules (a tiny model checker).
+
+The operational-vs-axiomatic experiment (E4) needs *all* behaviours a
+workload can exhibit under an engine, not a random sample.  Because the
+engines and scheduler are fully deterministic, a run is determined by its
+schedule — the sequence of "advance session s" / "deliver" decisions — so
+the explorer enumerates schedules by replaying prefixes from scratch and
+branching on every enabled decision.
+
+Replay-based exploration avoids copying engine state (generator objects
+cannot be deep-copied); its cost is quadratic in run length per run, which
+is irrelevant at the tiny sizes exhaustive exploration is feasible at
+anyway (≲ a dozen operations).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from ..core.executions import AbstractExecution
+from ..core.histories import History
+from ..mvcc.engine import BaseEngine
+from ..mvcc.psi import PSIEngine
+from ..mvcc.runtime import DELIVER, Scheduler, TxProgram
+
+EngineFactory = Callable[[], BaseEngine]
+SessionsFactory = Callable[[], Mapping[str, Sequence[TxProgram]]]
+
+
+@dataclass(frozen=True)
+class Run:
+    """One completed exploration run."""
+
+    schedule: Tuple[str, ...]
+    history: History
+    execution: AbstractExecution
+    commits: int
+    aborts: int
+
+
+def _replay(
+    engine_factory: EngineFactory,
+    sessions_factory: SessionsFactory,
+    prefix: Sequence[str],
+) -> Tuple[BaseEngine, Scheduler]:
+    engine = engine_factory()
+    scheduler = Scheduler(engine, sessions_factory())
+    for entry in prefix:
+        if entry == DELIVER:
+            scheduler.deliver_one()
+        else:
+            scheduler.step(entry)
+    return engine, scheduler
+
+
+def _choices(engine: BaseEngine, scheduler: Scheduler) -> List[str]:
+    choices = scheduler.runnable_sessions()
+    if isinstance(engine, PSIEngine) and engine.deliverable_deliveries():
+        choices.append(DELIVER)
+    return choices
+
+
+def explore_runs(
+    engine_factory: EngineFactory,
+    sessions_factory: SessionsFactory,
+    max_runs: Optional[int] = None,
+    max_depth: int = 200,
+) -> Iterator[Run]:
+    """Enumerate every complete schedule of the workload (DFS).
+
+    Args:
+        engine_factory: builds a fresh engine per replay.
+        sessions_factory: builds fresh session programs per replay
+            (programs are generator functions, fresh per transaction
+            anyway, but the mapping is re-created for hygiene).
+        max_runs: optional cap on yielded runs.
+        max_depth: abort exploration of prefixes longer than this
+            (protection against abort/retry livelocks).
+    """
+    yielded = 0
+    stack: List[Tuple[str, ...]] = [()]
+    while stack:
+        prefix = stack.pop()
+        if len(prefix) > max_depth:
+            continue
+        engine, scheduler = _replay(engine_factory, sessions_factory, prefix)
+        choices = _choices(engine, scheduler)
+        if not choices:
+            # Complete: drain pending deliveries for PSI so histories are
+            # closed, then record.
+            if isinstance(engine, PSIEngine):
+                engine.deliver_all()
+            yield Run(
+                schedule=prefix,
+                history=engine.history(),
+                execution=engine.abstract_execution(),
+                commits=engine.stats.commits,
+                aborts=engine.stats.aborts,
+            )
+            yielded += 1
+            if max_runs is not None and yielded >= max_runs:
+                return
+            continue
+        # Push in reverse so exploration is lexicographic.
+        for choice in reversed(choices):
+            stack.append(prefix + (choice,))
+
+
+def enumerate_tiny_histories(
+    objects: int = 2,
+    same_session: bool = False,
+) -> Iterator[History]:
+    """Systematically enumerate all two-transaction histories over a tiny
+    value domain (plus an initialisation transaction writing zeros).
+
+    Per transaction and object the access pattern is one of: no access,
+    an external read of value ``v ∈ {0, 1, 2}``, a write (transaction
+    ``ti`` always writes value ``i``), or a read-then-write.  This covers
+    consistent *and* inconsistent histories — by design: the oracles must
+    agree on rejections too.  With 2 objects this yields 64² = 4096
+    access combinations per session structure.
+
+    Args:
+        objects: number of objects (keep at 1–2; growth is steep).
+        same_session: put the two transactions in one session (SO edge)
+            instead of separate sessions.
+    """
+    import itertools as _it
+
+    from ..core.events import Op, read as _read, write as _write
+    from ..core.histories import history as _history
+    from ..core.transactions import (
+        initialisation_transaction,
+        transaction as _transaction,
+    )
+
+    objs = [f"x{i}" for i in range(objects)]
+    read_values = (0, 1, 2)
+
+    def patterns(write_value: int):
+        options: List[List[Op]] = [[]]
+        for v in read_values:
+            options.append([_read("OBJ", v)])
+        options.append([_write("OBJ", write_value)])
+        for v in read_values:
+            options.append([_read("OBJ", v), _write("OBJ", write_value)])
+        return options
+
+    def instantiate(option: List[Op], obj: str) -> List[Op]:
+        return [
+            _read(obj, op.value) if op.is_read else _write(obj, op.value)
+            for op in option
+        ]
+
+    per_txn_options = {
+        1: list(_it.product(patterns(1), repeat=len(objs))),
+        2: list(_it.product(patterns(2), repeat=len(objs))),
+    }
+    init = initialisation_transaction(objs)
+    for combo1 in per_txn_options[1]:
+        ops1 = [
+            op
+            for obj, option in zip(objs, combo1)
+            for op in instantiate(option, obj)
+        ]
+        if not ops1:
+            continue
+        t1 = _transaction("t1", *ops1)
+        for combo2 in per_txn_options[2]:
+            ops2 = [
+                op
+                for obj, option in zip(objs, combo2)
+                for op in instantiate(option, obj)
+            ]
+            if not ops2:
+                continue
+            t2 = _transaction("t2", *ops2)
+            if same_session:
+                yield _history([init], [t1, t2])
+            else:
+                yield _history([init], [t1], [t2])
+
+
+def history_key(history: History) -> Tuple:
+    """A hashable canonical key for a history: sessions of event-op lists
+    (tids ignored, so engine-assigned ids do not split equal histories)."""
+    sessions = []
+    for session in history.sessions:
+        sessions.append(
+            tuple(
+                tuple((e.op.kind.value, e.obj, e.value) for e in t.events)
+                for t in session
+            )
+        )
+    return tuple(sorted(sessions))
+
+
+def distinct_histories(runs: Iterator[Run]) -> Dict[Tuple, Run]:
+    """Deduplicate runs by client-visible history."""
+    out: Dict[Tuple, Run] = {}
+    for run in runs:
+        key = history_key(run.history)
+        if key not in out:
+            out[key] = run
+    return out

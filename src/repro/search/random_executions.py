@@ -1,0 +1,176 @@
+"""Generative sampling of random SI executions — stale snapshots included.
+
+The engine-based samplers only produce executions whose snapshots are
+*latest* (a transaction sees everything committed before it started).
+The declarative SI of Definition 4 is *generalised* SI [17]: a snapshot
+may be any CO-prefix containing the session's past.  This module builds
+random members of ExecSI directly, by construction:
+
+1. lay transactions out in a random commit order (CO), initialisation
+   first, sessions in order;
+2. give each transaction a random *prefix* visibility — any CO-prefix
+   extending its SO-predecessors (PREFIX and SESSION hold by
+   construction), then extend prefixes where NOCONFLICT demands it
+   (writers of a common object must be mutually ordered, so the later
+   writer's prefix is stretched to include the earlier);
+3. fill in operations: writes get globally unique values; every read's
+   value is *computed* from the axioms — the final write of the CO-latest
+   visible writer (EXT by construction; reads precede writes inside each
+   transaction, so INT holds trivially).
+
+The result is always in ExecSI (checked in tests), making this a second,
+engine-independent source of positive examples — and the only one that
+exercises non-latest snapshots throughout the property suites.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.events import Op, read as read_op, write as write_op
+from ..core.executions import AbstractExecution
+from ..core.histories import History
+from ..core.relations import Relation
+from ..core.transactions import Transaction, transaction
+
+
+def random_si_execution(
+    seed: int,
+    transactions: int = 6,
+    objects: int = 3,
+    sessions: int = 3,
+    staleness: float = 0.5,
+    read_probability: float = 0.6,
+    write_probability: float = 0.5,
+    init_tid: str = "t_init",
+) -> AbstractExecution:
+    """Generate a random abstract execution in ExecSI.
+
+    Args:
+        seed: PRNG seed.
+        transactions: number of non-initialisation transactions.
+        objects: number of objects.
+        sessions: number of sessions.
+        staleness: probability that a transaction's snapshot stops short
+            of the latest committed prefix (0 = always latest, engine
+            behaviour; 1 = as stale as the constraints allow).
+        read_probability / write_probability: per-object access odds
+            (a transaction accessing nothing is re-rolled).
+        init_tid: id of the initialisation transaction.
+    """
+    rng = random.Random(seed)
+    objs = [f"x{i}" for i in range(objects)]
+
+    # 1. Commit order: sessions assigned round-robin, then a random
+    # interleaving respecting session order.
+    tids = [f"t{i+1}" for i in range(transactions)]
+    session_of: Dict[str, int] = {
+        tid: rng.randrange(sessions) for tid in tids
+    }
+    # Random SO-respecting linearisation: repeatedly pick a random
+    # session's next transaction.
+    per_session: Dict[int, List[str]] = {}
+    for tid in tids:
+        per_session.setdefault(session_of[tid], []).append(tid)
+    pending = {s: list(q) for s, q in per_session.items()}
+    commit_order: List[str] = []
+    while any(pending.values()):
+        s = rng.choice([s for s, q in pending.items() if q])
+        commit_order.append(pending[s].pop(0))
+
+    # 2. Access sets and write values.
+    accesses: Dict[str, Dict[str, Tuple[bool, bool]]] = {}
+    value_counter = itertools.count(1)
+    write_values: Dict[str, Dict[str, int]] = {}
+    for tid in tids:
+        while True:
+            pattern = {
+                obj: (
+                    rng.random() < read_probability,
+                    rng.random() < write_probability,
+                )
+                for obj in objs
+            }
+            if any(r or w for r, w in pattern.values()):
+                break
+        accesses[tid] = pattern
+        write_values[tid] = {
+            obj: next(value_counter)
+            for obj, (_, w) in pattern.items()
+            if w
+        }
+
+    # 3. Visibility prefixes.  Position 0 is the initialisation txn.
+    position = {tid: i + 1 for i, tid in enumerate(commit_order)}
+    prefix_len: Dict[str, int] = {}
+    for i, tid in enumerate(commit_order):
+        # Floor: SESSION — see every same-session predecessor.
+        floor = 0
+        for other in commit_order[:i]:
+            if session_of[other] == session_of[tid]:
+                floor = max(floor, position[other])
+        latest = i  # number of committed predecessors (excl. init)
+        if rng.random() < staleness:
+            chosen = rng.randint(floor, latest)
+        else:
+            chosen = latest
+        prefix_len[tid] = chosen
+
+    # NOCONFLICT repair: two writers of one object must be VIS-related;
+    # with prefix visibility that means the CO-later writer's prefix must
+    # cover the earlier one.  Stretch prefixes until stable.
+    for obj in objs:
+        writers = [t for t in commit_order if accesses[t][obj][1]]
+        for earlier, later in itertools.combinations(writers, 2):
+            prefix_len[later] = max(prefix_len[later], position[earlier])
+
+    # 4. Build events: reads first (values via EXT), then writes.
+    store_by_position: Dict[str, List[Tuple[int, int]]] = {
+        obj: [(0, 0)] for obj in objs  # (position, value): init writes 0
+    }
+    for tid in commit_order:
+        for obj, value in write_values[tid].items():
+            store_by_position[obj].append((position[tid], value))
+
+    def read_value(tid: str, obj: str) -> int:
+        visible = prefix_len[tid]
+        candidates = [
+            (pos, value)
+            for pos, value in store_by_position[obj]
+            if pos <= visible
+        ]
+        return max(candidates)[1]
+
+    txns: Dict[str, Transaction] = {}
+    for tid in tids:
+        ops: List[Op] = []
+        for obj in objs:
+            reads, _ = accesses[tid][obj]
+            if reads:
+                ops.append(read_op(obj, read_value(tid, obj)))
+        for obj in objs:
+            _, writes = accesses[tid][obj]
+            if writes:
+                ops.append(write_op(obj, write_values[tid][obj]))
+        txns[tid] = transaction(tid, *ops)
+    init = transaction(init_tid, *(write_op(obj, 0) for obj in objs))
+
+    # 5. Assemble history, VIS, CO.
+    session_lists: List[List[Transaction]] = [[] for _ in range(sessions)]
+    for tid in commit_order:
+        session_lists[session_of[tid]].append(txns[tid])
+    h = History(
+        tuple([(init,)] + [tuple(s) for s in session_lists if s])
+    )
+    universe = h.transactions
+    ordered = [init] + [txns[t] for t in commit_order]
+    co = Relation.total_order(ordered)
+    vis_pairs: Set[Tuple[Transaction, Transaction]] = set()
+    for tid in commit_order:
+        vis_pairs.add((init, txns[tid]))
+        for other in commit_order:
+            if position[other] <= prefix_len[tid] and other != tid:
+                vis_pairs.add((txns[other], txns[tid]))
+    return AbstractExecution(h, Relation(vis_pairs, universe), co)

@@ -1,0 +1,215 @@
+"""Seeded random generators for histories and dependency graphs.
+
+Property-based tests and the scalability benchmarks need a supply of
+well-formed dependency graphs (Definition 6) of controllable size.  The
+generator works backwards from the structure:
+
+1. lay out transactions into sessions, plus an initialisation transaction
+   writing every object;
+2. give each transaction a random access pattern per object — none, read,
+   write, or read-then-write (reads precede writes, so every read is
+   *external* and internal consistency holds by construction);
+3. pick a random total write order WW(x) per object (initialisation
+   first);
+4. pick a random WR(x) writer for every external read;
+5. assign globally unique write values and set each read's value to its
+   chosen writer's final write, making the graph well formed by
+   construction.
+
+The resulting graphs are arbitrary — not necessarily in GraphSI.
+:func:`random_graphsi_graph` rejection-samples the GraphSI subset (with an
+engine-backed fallback), for tests of the soundness construction.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.events import Op, read as read_op, write as write_op
+from ..core.histories import History
+from ..core.relations import Relation
+from ..core.transactions import Transaction, transaction
+from ..graphs.classify import in_graph_si
+from ..graphs.dependency import DependencyGraph
+
+ACCESS_NONE = "none"
+ACCESS_READ = "read"
+ACCESS_WRITE = "write"
+ACCESS_READ_WRITE = "read_write"
+
+
+def random_dependency_graph(
+    seed: int,
+    transactions: int = 6,
+    objects: int = 3,
+    sessions: int = 3,
+    access_probabilities: Tuple[float, float, float, float] = (
+        0.45,
+        0.25,
+        0.2,
+        0.1,
+    ),
+    init_tid: str = "t_init",
+) -> DependencyGraph:
+    """Generate a random well-formed dependency graph.
+
+    Args:
+        seed: PRNG seed (full determinism).
+        transactions: number of non-initialisation transactions.
+        objects: number of objects.
+        sessions: number of sessions the transactions are spread over.
+        access_probabilities: probabilities of (none, read, write,
+            read-then-write) per transaction/object pair; renormalised.
+        init_tid: id of the initialisation transaction.
+    """
+    rng = random.Random(seed)
+    objs = [f"x{i}" for i in range(objects)]
+    kinds = (ACCESS_NONE, ACCESS_READ, ACCESS_WRITE, ACCESS_READ_WRITE)
+    total = sum(access_probabilities)
+    weights = [p / total for p in access_probabilities]
+
+    # 1-2. Access patterns; ensure each transaction touches something.
+    patterns: List[Dict[str, str]] = []
+    for _ in range(transactions):
+        while True:
+            pattern = {
+                obj: rng.choices(kinds, weights=weights)[0] for obj in objs
+            }
+            if any(k != ACCESS_NONE for k in pattern.values()):
+                patterns.append(pattern)
+                break
+
+    # Write values: globally unique.
+    counter = itertools.count(1)
+    write_values: List[Dict[str, int]] = []
+    for pattern in patterns:
+        values = {
+            obj: next(counter)
+            for obj, kind in pattern.items()
+            if kind in (ACCESS_WRITE, ACCESS_READ_WRITE)
+        }
+        write_values.append(values)
+
+    tids = [f"t{i+1}" for i in range(transactions)]
+
+    # 3. WW orders (writers include the init transaction, pinned first).
+    writers_of: Dict[str, List[int]] = {
+        obj: [
+            i
+            for i, pattern in enumerate(patterns)
+            if pattern[obj] in (ACCESS_WRITE, ACCESS_READ_WRITE)
+        ]
+        for obj in objs
+    }
+    ww_orders: Dict[str, List[int]] = {}
+    for obj, writers in writers_of.items():
+        order = list(writers)
+        rng.shuffle(order)
+        ww_orders[obj] = order  # init implicitly first
+
+    # 4-5. WR choices and read values.
+    read_values: List[Dict[str, int]] = [dict() for _ in range(transactions)]
+    wr_choice: Dict[Tuple[str, int], Optional[int]] = {}
+    for i, pattern in enumerate(patterns):
+        for obj, kind in pattern.items():
+            if kind not in (ACCESS_READ, ACCESS_READ_WRITE):
+                continue
+            candidates: List[Optional[int]] = [None]  # None = init
+            candidates.extend(j for j in writers_of[obj] if j != i)
+            chosen = rng.choice(candidates)
+            wr_choice[(obj, i)] = chosen
+            read_values[i][obj] = (
+                0 if chosen is None else write_values[chosen][obj]
+            )
+
+    # Build transactions: external reads first (object order), then writes.
+    txns: List[Transaction] = []
+    for i, pattern in enumerate(patterns):
+        ops: List[Op] = []
+        for obj in objs:
+            if pattern[obj] in (ACCESS_READ, ACCESS_READ_WRITE):
+                ops.append(read_op(obj, read_values[i][obj]))
+        for obj in objs:
+            if pattern[obj] in (ACCESS_WRITE, ACCESS_READ_WRITE):
+                ops.append(write_op(obj, write_values[i][obj]))
+        txns.append(transaction(tids[i], *ops))
+
+    init = transaction(init_tid, *(write_op(obj, 0) for obj in objs))
+
+    # Sessions: deal transactions round-robin-ish but randomised.
+    session_lists: List[List[Transaction]] = [[] for _ in range(sessions)]
+    for t in txns:
+        session_lists[rng.randrange(sessions)].append(t)
+    all_sessions = [(init,)] + [
+        tuple(s) for s in session_lists if s
+    ]
+    h = History(tuple(all_sessions))
+
+    # Relations over Transaction objects.
+    by_index = {i: txns[i] for i in range(transactions)}
+    universe = h.transactions
+    wr: Dict[str, Set[Tuple[Transaction, Transaction]]] = {}
+    for (obj, i), chosen in wr_choice.items():
+        src = init if chosen is None else by_index[chosen]
+        wr.setdefault(obj, set()).add((src, by_index[i]))
+    ww: Dict[str, Relation[Transaction]] = {}
+    for obj, order in ww_orders.items():
+        chain = [init] + [by_index[i] for i in order]
+        if len(chain) > 1:
+            ww[obj] = Relation.total_order(chain).union(
+                Relation.empty(universe)
+            )
+    wr_rels = {obj: Relation(pairs, universe) for obj, pairs in wr.items()}
+    return DependencyGraph(h, wr_rels, ww, validate=True)
+
+
+def random_graphsi_graph(
+    seed: int,
+    transactions: int = 6,
+    objects: int = 3,
+    sessions: int = 3,
+    max_attempts: int = 30,
+) -> DependencyGraph:
+    """A random dependency graph *in GraphSI*, by rejection sampling.
+
+    Small graphs (≤ ~4 transactions) land in GraphSI often enough that
+    rejection is cheap; the hit rate collapses with size because random
+    WR/WW choices contradict each other, so after ``max_attempts`` seeds
+    the fall-back derives a graph from an actual SI-engine run, which lies
+    in GraphSI by Theorem 10(ii).
+    """
+    for attempt in range(max_attempts):
+        graph = random_dependency_graph(
+            seed + attempt * 7919,
+            transactions=transactions,
+            objects=objects,
+            sessions=sessions,
+        )
+        if in_graph_si(graph):
+            return graph
+    return graph_from_si_run(seed, transactions=transactions, objects=objects)
+
+
+def graph_from_si_run(
+    seed: int, transactions: int = 6, objects: int = 3
+) -> DependencyGraph:
+    """A dependency graph extracted from a random SI-engine run (always in
+    GraphSI, by completeness)."""
+    from ..graphs.extraction import graph_of
+    from ..mvcc.runtime import Scheduler
+    from ..mvcc.si import SIEngine
+    from ..mvcc.workloads import random_workload
+
+    sessions = max(2, transactions // 2)
+    per_session = max(1, transactions // sessions)
+    workload = random_workload(
+        seed,
+        sessions=sessions,
+        transactions_per_session=per_session,
+        objects=objects,
+    )
+    engine = SIEngine(workload.initial)
+    Scheduler(engine, workload.sessions).run_random(seed)
+    return graph_of(engine.abstract_execution())

@@ -1,0 +1,13 @@
+"""Visualisation: Graphviz DOT export of graphs and executions."""
+
+from .dot import (
+    dependency_graph_to_dot,
+    execution_to_dot,
+    labeled_digraph_to_dot,
+)
+
+__all__ = [
+    "dependency_graph_to_dot",
+    "execution_to_dot",
+    "labeled_digraph_to_dot",
+]

@@ -1,0 +1,84 @@
+"""Unit tests for the anomaly catalog (the paper's figures)."""
+
+import pytest
+
+from repro.anomalies import ALL_CASES, load
+from repro.anomalies.catalog import INIT_TID
+from repro.core.models import MODELS
+
+
+class TestCatalogIntegrity:
+    def test_all_cases_constructible(self):
+        for name, ctor in ALL_CASES.items():
+            case = ctor()
+            assert case.name == name
+            assert case.history is not None
+            assert set(case.expected) == {"SER", "SI", "PSI"}
+
+    def test_load_by_name(self):
+        case = load("write_skew")
+        assert case.name == "write_skew"
+
+    def test_load_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            load("phantom_read")
+
+    def test_histories_internally_consistent(self):
+        for ctor in ALL_CASES.values():
+            assert ctor().history.is_internally_consistent()
+
+    def test_init_transaction_present(self):
+        for ctor in ALL_CASES.values():
+            case = ctor()
+            assert case.history.by_tid(INIT_TID) is not None
+
+    def test_executions_well_formed(self):
+        for ctor in ALL_CASES.values():
+            case = ctor()
+            if case.execution is not None:
+                assert case.execution.well_formedness_violations() == []
+
+    def test_graphs_well_formed(self):
+        for ctor in ALL_CASES.values():
+            case = ctor()
+            if case.graph is not None:
+                assert case.graph.well_formedness_violations() == []
+
+    def test_graph_history_matches_case_history(self):
+        for ctor in ALL_CASES.values():
+            case = ctor()
+            if case.graph is not None:
+                assert case.graph.history is case.history
+
+
+class TestExpectedClassifications:
+    """Pin the paper's Figure 2 and appendix claims."""
+
+    def test_write_skew_si_not_ser(self):
+        expected = load("write_skew").expected
+        assert expected == {"SER": False, "SI": True, "PSI": True}
+
+    def test_lost_update_nowhere(self):
+        assert load("lost_update").expected == {
+            "SER": False, "SI": False, "PSI": False,
+        }
+
+    def test_long_fork_psi_only(self):
+        assert load("long_fork").expected == {
+            "SER": False, "SI": False, "PSI": True,
+        }
+
+    def test_session_guarantees_everywhere(self):
+        assert load("session_guarantees").expected == {
+            "SER": True, "SI": True, "PSI": True,
+        }
+
+    def test_executions_satisfy_their_models(self):
+        # Each case's canonical execution must satisfy every model the
+        # history is expected to be allowed by... at least SI when marked.
+        for name, ctor in ALL_CASES.items():
+            case = ctor()
+            if case.execution is None:
+                continue
+            if case.expected["SI"]:
+                assert MODELS["SI"].satisfied_by(case.execution), name

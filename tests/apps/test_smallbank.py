@@ -1,0 +1,130 @@
+"""Tests for the SmallBank application model: the static robustness
+verdicts of the literature, and the operational anomaly on the engines."""
+
+import pytest
+
+from repro.apps.smallbank import (
+    initial_state,
+    smallbank_programs,
+    transact_savings_program,
+    write_check_program,
+    write_skew_sessions,
+)
+from repro.characterisation import classify_history
+from repro.graphs import graph_of, in_graph_ser, in_graph_si
+from repro.mvcc import Scheduler, SerializableEngine, SIEngine
+from repro.robustness import (
+    check_robustness_against_si,
+    robust_against_si,
+)
+
+
+class TestStaticModel:
+    def test_programs_constructible(self):
+        programs = smallbank_programs(customers=2)
+        names = {p.name for p in programs}
+        assert "WriteCheck(0)" in names
+        assert "Amalgamate(0,1)" in names
+        assert len(programs) == 9
+
+    def test_write_check_is_the_vulnerable_program(self):
+        wc = write_check_program(0)
+        ts = transact_savings_program(0)
+        # They conflict read-write in both directions but never
+        # write-write: the write-skew pattern.
+        assert wc.reads & ts.writes
+        assert ts.reads & wc.writes == set()  # ts reads only savings
+        assert not (wc.writes & ts.writes)
+
+    def test_not_robust_against_si(self):
+        assert not robust_against_si(smallbank_programs())
+        assert not robust_against_si(
+            smallbank_programs(), require_vulnerable=True
+        )
+
+    def test_witness_is_the_known_write_skew(self):
+        verdict = check_robustness_against_si(
+            smallbank_programs(), require_vulnerable=True
+        )
+        assert not verdict.robust
+        nodes = " ".join(str(n) for n in verdict.witness.nodes)
+        assert "WriteCheck" in nodes
+        # The adjacent anti-dependency pair runs through savings/checking.
+        objs = {e.obj for e in verdict.witness.edges if e.obj}
+        assert objs & {"savings0", "checking0"}
+
+    def test_fix_by_materialising_conflict(self):
+        # The standard SmallBank fix: make TransactSavings also write the
+        # checking row (or a common lock), so WriteCheck and
+        # TransactSavings write-conflict and SI serialises them.
+        from repro.chopping import piece, program
+
+        fixed = [
+            p
+            for p in smallbank_programs(customers=1)
+            if not p.name.startswith(("WriteCheck", "TransactSavings"))
+        ]
+        fixed.append(
+            program(
+                "WriteCheck(0)",
+                piece({"savings0", "checking0"}, {"checking0"}),
+            )
+        )
+        fixed.append(
+            program(
+                "TransactSavings(0)",
+                piece({"savings0"}, {"savings0", "checking0"}),
+            )
+        )
+        assert robust_against_si(fixed, require_vulnerable=True)
+
+
+class TestOperationalAnomaly:
+    """Alomari et al.'s three-transaction SmallBank anomaly: the cheque is
+    cashed against the pre-withdrawal snapshot (no overdraft penalty)
+    while the auditor observes the withdrawal but not the cheque."""
+
+    def run_anomaly(self, engine):
+        from repro.apps.smallbank import ANOMALY_SCHEDULE
+
+        sched = Scheduler(engine, write_skew_sessions())
+        sched.run_schedule(ANOMALY_SCHEDULE)
+        return engine
+
+    def test_si_admits_the_anomaly(self):
+        engine = self.run_anomaly(
+            SIEngine(initial_state(customers=1, balance=100))
+        )
+        assert engine.stats.aborts == 0
+        # The cheque (150) was cashed without the overdraft penalty even
+        # though, serialised after the withdrawal, the combined balance
+        # (100) would not have covered it.
+        assert engine.store.latest("checking0").value == -50
+        g = graph_of(engine.abstract_execution())
+        assert in_graph_si(g)
+        assert not in_graph_ser(g)
+
+    def test_auditor_observation_breaks_serializability(self):
+        engine = self.run_anomaly(
+            SIEngine(initial_state(customers=1, balance=100))
+        )
+        auditor = [r for r in engine.committed if r.session == "auditor"][0]
+        seen = {e.obj: e.value for e in auditor.events}
+        # The auditor saw the withdrawal (savings 0) but not the cheque
+        # (checking still 100): inconsistent with every serial order.
+        assert seen == {"savings0": 0, "checking0": 100}
+
+    def test_serializable_engine_prevents_it(self):
+        engine = self.run_anomaly(
+            SerializableEngine(initial_state(customers=1, balance=100))
+        )
+        assert engine.stats.aborts >= 1
+        g = graph_of(engine.abstract_execution())
+        assert in_graph_ser(g)
+
+    def test_anomalous_history_in_hist_si_not_ser(self):
+        engine = self.run_anomaly(
+            SIEngine(initial_state(customers=1, balance=100))
+        )
+        got = classify_history(engine.history(), init_tid="t_init")
+        assert got["SI"] and not got["SER"]

@@ -1,0 +1,139 @@
+"""Tests for the execution-level search, and the end-to-end agreement of
+the two oracles (Definition 4 vs Theorems 8/9/21).
+
+Agreement between :mod:`repro.characterisation.exec_search` (which
+enumerates VIS/CO and checks the axioms, using no dependency-graph code)
+and :mod:`repro.characterisation.membership` (which enumerates dependency
+graphs and checks the cycle conditions) is precisely the content of the
+characterisation theorems, checked exhaustively at small scope.
+"""
+
+import pytest
+
+from repro.anomalies import ALL_CASES
+from repro.characterisation.exec_search import (
+    classify_history_by_executions,
+    find_execution,
+    history_allowed,
+)
+from repro.characterisation.membership import classify_history
+from repro.core.models import MODELS
+from repro.mvcc.si import SIEngine
+from repro.mvcc.runtime import Scheduler
+from repro.mvcc.workloads import random_workload
+
+SMALL_CASES = [
+    "session_guarantees",
+    "lost_update",
+    "long_fork",
+    "write_skew",
+    "fig4_g1",
+    "fig4_g2",
+]
+
+
+class TestDirectSearch:
+    @pytest.mark.parametrize("name", SMALL_CASES)
+    def test_agrees_with_graph_oracle_on_catalog(self, name):
+        case = ALL_CASES[name]()
+        by_graphs = classify_history(case.history, init_tid=case.init_tid)
+        by_execs = classify_history_by_executions(
+            case.history, init_tid=case.init_tid
+        )
+        assert by_execs == by_graphs == case.expected
+
+    def test_witness_satisfies_model(self):
+        case = ALL_CASES["write_skew"]()
+        x = find_execution(case.history, "SI", init_tid=case.init_tid)
+        assert x is not None
+        assert MODELS["SI"].satisfied_by(x)
+
+    def test_no_witness_for_disallowed(self):
+        case = ALL_CASES["lost_update"]()
+        assert find_execution(case.history, "SI", init_tid=case.init_tid) is None
+        assert find_execution(case.history, "PSI", init_tid=case.init_tid) is None
+
+    def test_internally_inconsistent_rejected(self):
+        from repro.core.events import read, write
+        from repro.core.histories import singleton_sessions
+        from repro.core.transactions import (
+            initialisation_transaction,
+            transaction,
+        )
+
+        init = initialisation_transaction(["x"])
+        bad = transaction("bad", write("x", 1), read("x", 2))
+        h = singleton_sessions(init, bad)
+        assert not history_allowed(h, "SI", init_tid="t_init")
+
+    def test_unknown_model_rejected(self):
+        case = ALL_CASES["write_skew"]()
+        with pytest.raises(KeyError):
+            history_allowed(case.history, "RC", init_tid=case.init_tid)
+
+    def test_session_order_respected_in_witness(self):
+        case = ALL_CASES["fig4_g1"]()
+        x = find_execution(case.history, "SI", init_tid=case.init_tid)
+        assert x is not None
+        assert case.history.session_order.pairs <= x.vis.pairs
+
+
+class TestGenericAxiomSearch:
+    """find_execution_for_axioms: the ablation-style generic search."""
+
+    def test_session_order_pruning_sound(self):
+        # With SESSION among the axioms, pruning must not change verdicts.
+        from repro.characterisation.exec_search import (
+            find_execution_for_axioms,
+        )
+        from repro.core.axioms import EXT, INT, NOCONFLICT, PREFIX, SESSION
+
+        si_axioms = (INT, EXT, SESSION, PREFIX, NOCONFLICT)
+        for name in ("write_skew", "lost_update", "long_fork"):
+            case = ALL_CASES[name]()
+            free = find_execution_for_axioms(
+                case.history, si_axioms, init_tid=case.init_tid
+            )
+            pruned = find_execution_for_axioms(
+                case.history, si_axioms, init_tid=case.init_tid,
+                require_session_order=True,
+            )
+            assert (free is None) == (pruned is None), name
+            assert (free is None) == (not case.expected["SI"]), name
+
+    def test_dropping_session_axiom_admits_stale_session_read(self):
+        from repro.characterisation.exec_search import (
+            find_execution_for_axioms,
+        )
+        from repro.core.axioms import EXT, INT, NOCONFLICT, PREFIX, SESSION
+
+        case = ALL_CASES["session_violation"]()
+        with_session = find_execution_for_axioms(
+            case.history, (INT, EXT, SESSION, PREFIX, NOCONFLICT),
+            init_tid=case.init_tid,
+        )
+        without_session = find_execution_for_axioms(
+            case.history, (INT, EXT, PREFIX, NOCONFLICT),
+            init_tid=case.init_tid,
+        )
+        assert with_session is None       # strong session SI rejects
+        assert without_session is not None  # plain SI would allow
+
+
+class TestOracleAgreementOnEngineRuns:
+    """Both oracles must accept every small SI-engine history, and agree
+    on every model, on randomised runs."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_agreement_on_random_si_runs(self, seed):
+        wl = random_workload(
+            seed, sessions=2, transactions_per_session=2, objects=2,
+            ops_per_transaction=(1, 2),
+        )
+        engine = SIEngine(wl.initial)
+        Scheduler(engine, wl.sessions).run_random(seed)
+        h = engine.history()
+        by_graphs = classify_history(h, init_tid="t_init")
+        by_execs = classify_history_by_executions(h, init_tid="t_init")
+        assert by_graphs == by_execs
+        assert by_graphs["SI"]

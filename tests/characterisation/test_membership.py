@@ -1,0 +1,124 @@
+"""Unit tests for the history-membership oracle (HistSI/HistSER/HistPSI)."""
+
+import pytest
+
+from repro.anomalies import (
+    ALL_CASES,
+    long_fork,
+    lost_update,
+    session_guarantees,
+    write_skew,
+)
+from repro.characterisation.membership import (
+    candidate_writers,
+    classify_history,
+    decide,
+    extensions,
+    history_in_psi,
+    history_in_ser,
+    history_in_si,
+    search_space_size,
+)
+from repro.core.events import read, write
+from repro.core.histories import singleton_sessions
+from repro.core.transactions import initialisation_transaction, transaction
+from repro.graphs.classify import in_graph_si
+
+
+class TestCatalogClassification:
+    @pytest.mark.parametrize("name", sorted(ALL_CASES))
+    def test_expected_membership(self, name):
+        case = ALL_CASES[name]()
+        got = classify_history(case.history, init_tid=case.init_tid)
+        assert got == case.expected, name
+
+    def test_write_skew_witness_in_graphsi(self):
+        case = write_skew()
+        decision = decide(case.history, "SI", init_tid=case.init_tid)
+        assert decision.allowed
+        assert decision.witness is not None
+        assert in_graph_si(decision.witness)
+
+    def test_lost_update_explores_everything(self):
+        case = lost_update()
+        decision = decide(case.history, "SI", init_tid=case.init_tid)
+        assert not decision.allowed
+        assert decision.witness is None
+        assert decision.graphs_explored >= 1
+
+
+class TestExtensions:
+    def test_candidate_writers_filter_by_value(self):
+        init = initialisation_transaction(["x"])
+        w1 = transaction("w1", write("x", 1))
+        w2 = transaction("w2", write("x", 2))
+        r = transaction("r", read("x", 1))
+        h = singleton_sessions(init, w1, w2, r)
+        assert candidate_writers(h, r, "x") == [w1]
+
+    def test_no_candidate_yields_no_extension(self):
+        init = initialisation_transaction(["x"])
+        r = transaction("r", read("x", 42))
+        h = singleton_sessions(init, r)
+        assert list(extensions(h)) == []
+        assert not history_in_si(h, init_tid="t_init")
+
+    def test_init_pinned_first_in_ww(self):
+        case = write_skew()
+        for graph in extensions(case.history, init_tid=case.init_tid):
+            for obj in graph.history.objects:
+                writers = graph.history.write_transactions(obj)
+                if len(writers) > 1:
+                    init = graph.history.by_tid(case.init_tid)
+                    assert graph.ww_on(obj).min_element(writers) == init
+
+    def test_max_graphs_caps_enumeration(self):
+        case = write_skew()
+        capped = list(
+            extensions(case.history, init_tid=case.init_tid, max_graphs=1)
+        )
+        assert len(capped) == 1
+
+    def test_extensions_are_wellformed(self):
+        case = long_fork()
+        for graph in extensions(case.history, init_tid=case.init_tid):
+            assert graph.well_formedness_violations() == []
+
+    def test_search_space_size_matches_enumeration(self):
+        case = write_skew()
+        size = search_space_size(case.history, init_tid=case.init_tid)
+        actual = len(list(extensions(case.history, init_tid=case.init_tid)))
+        assert actual == size
+
+
+class TestModelHelpers:
+    def test_helpers_agree_with_decide(self):
+        case = session_guarantees()
+        h, init = case.history, case.init_tid
+        assert history_in_si(h, init_tid=init)
+        assert history_in_ser(h, init_tid=init)
+        assert history_in_psi(h, init_tid=init)
+
+    def test_unknown_model_rejected(self):
+        case = session_guarantees()
+        with pytest.raises(ValueError):
+            decide(case.history, "RC")
+
+    def test_internally_inconsistent_history_rejected(self):
+        init = initialisation_transaction(["x"])
+        bad = transaction("bad", write("x", 1), read("x", 2))
+        h = singleton_sessions(init, bad)
+        decision = decide(h, "SI", init_tid="t_init")
+        assert not decision.allowed
+        assert decision.graphs_explored == 0
+
+
+class TestModelInclusions:
+    @pytest.mark.parametrize("name", sorted(ALL_CASES))
+    def test_hist_ser_subset_si_subset_psi(self, name):
+        case = ALL_CASES[name]()
+        got = classify_history(case.history, init_tid=case.init_tid)
+        if got["SER"]:
+            assert got["SI"]
+        if got["SI"]:
+            assert got["PSI"]

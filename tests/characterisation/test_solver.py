@@ -1,0 +1,135 @@
+"""Unit tests for the Figure 3 inequality system and Lemma 15."""
+
+import pytest
+
+from repro.anomalies import fig4_g1, fig4_g2, fig11_h6, fig12_g7, write_skew
+from repro.characterisation.solver import (
+    Solution,
+    inequality_violations,
+    is_smaller_or_equal,
+    least_solution,
+    satisfies_inequalities,
+)
+from repro.core.relations import Relation
+from repro.graphs.extraction import graph_of
+
+
+def catalog_graphs():
+    yield fig4_g1().graph
+    yield fig4_g2().graph
+    yield fig11_h6().graph
+    yield fig12_g7().graph
+    yield graph_of(write_skew().execution)
+
+
+class TestClosedForm:
+    @pytest.mark.parametrize("graph", list(catalog_graphs()),
+                             ids=lambda g: g.history.sessions[1][0].tid)
+    def test_least_solution_satisfies_system(self, graph):
+        solution = least_solution(graph)
+        assert satisfies_inequalities(graph, solution), inequality_violations(
+            graph, solution
+        )
+
+    def test_least_solution_with_forced_edges(self):
+        graph = fig4_g1().graph
+        txns = sorted(graph.transactions, key=lambda t: t.tid)
+        forced = [(txns[0], txns[-1])]
+        solution = least_solution(graph, forced_co=forced)
+        assert satisfies_inequalities(graph, solution)
+        assert (txns[0], txns[-1]) in solution.co
+
+    def test_forced_edges_grow_solution(self):
+        graph = fig4_g1().graph
+        base = least_solution(graph)
+        txns = sorted(graph.transactions, key=lambda t: t.tid)
+        pair = next(iter(base.co.unrelated_pairs(graph.transactions)))
+        bigger = least_solution(graph, forced_co=[pair])
+        assert is_smaller_or_equal(base, bigger)
+        assert pair in bigger.co
+
+
+class TestS5Necessity:
+    def test_execution_relations_solve_system(self):
+        # Lemma 12: any SI execution's (VIS, CO) solves the system for its
+        # own dependencies.
+        case = write_skew()
+        x = case.execution
+        graph = graph_of(x)
+        solution = Solution(vis=x.vis, co=x.co)
+        assert satisfies_inequalities(graph, solution)
+
+    def test_minimality_against_execution_solution(self):
+        # Lemma 15 minimality: the least solution is below any solution,
+        # in particular below the execution's own relations.
+        case = write_skew()
+        x = case.execution
+        graph = graph_of(x)
+        least = least_solution(graph)
+        actual = Solution(vis=x.vis, co=x.co)
+        assert is_smaller_or_equal(least, actual)
+
+
+class TestFixpointIteration:
+    """Lemma 15's closed form must equal the Knaster-Tarski least
+    fixpoint of the Figure 3 rules — an executable proof of the lemma's
+    'least solution' claim."""
+
+    @pytest.mark.parametrize("graph", list(catalog_graphs()),
+                             ids=lambda g: g.history.sessions[1][0].tid)
+    def test_agrees_with_closed_form(self, graph):
+        from repro.characterisation.solver import least_solution_by_iteration
+
+        closed = least_solution(graph)
+        iterated = least_solution_by_iteration(graph)
+        assert closed.vis == iterated.vis
+        assert closed.co == iterated.co
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_agrees_on_random_graphs(self, seed):
+        from repro.characterisation.solver import least_solution_by_iteration
+        from repro.search.random_graphs import random_dependency_graph
+
+        graph = random_dependency_graph(seed, transactions=5, objects=3)
+        closed = least_solution(graph)
+        iterated = least_solution_by_iteration(graph)
+        assert closed.vis == iterated.vis
+        assert closed.co == iterated.co
+
+    def test_agrees_with_forced_edges(self):
+        from repro.characterisation.solver import least_solution_by_iteration
+
+        graph = fig4_g1().graph
+        txns = sorted(graph.transactions, key=lambda t: t.tid)
+        base = least_solution(graph)
+        pair = next(iter(base.co.unrelated_pairs(graph.transactions)))
+        closed = least_solution(graph, forced_co=[pair])
+        iterated = least_solution_by_iteration(graph, forced_co=[pair])
+        assert closed.vis == iterated.vis
+        assert closed.co == iterated.co
+
+
+class TestViolationReporting:
+    def test_empty_solution_violates_s1(self):
+        graph = fig4_g1().graph
+        empty = Solution(
+            vis=Relation.empty(graph.transactions),
+            co=Relation.empty(graph.transactions),
+        )
+        violations = inequality_violations(graph, empty)
+        assert any("(S1)" in v for v in violations)
+
+    def test_vis_not_in_co_violates_s3(self):
+        graph = fig4_g2().graph
+        sol = least_solution(graph)
+        broken = Solution(vis=sol.vis, co=Relation.empty(graph.transactions))
+        violations = inequality_violations(graph, broken)
+        assert any("(S3)" in v for v in violations)
+
+    def test_intransitive_co_violates_s4(self):
+        graph = fig4_g2().graph
+        txns = sorted(graph.transactions, key=lambda t: t.tid)
+        chain = Relation([(txns[0], txns[1]), (txns[1], txns[2])])
+        broken = Solution(vis=Relation.empty(graph.transactions), co=chain)
+        violations = inequality_violations(graph, broken)
+        assert any("(S4)" in v for v in violations)

@@ -1,0 +1,152 @@
+"""Unit tests for the Theorem 10(i) soundness construction."""
+
+import pytest
+
+from repro.anomalies import fig4_g1, fig4_g2, fig11_h6, fig12_g7, write_skew
+from repro.characterisation.soundness import (
+    construct_execution,
+    default_pair_picker,
+    initial_pre_execution,
+    pre_execution_chain,
+    totalisation_steps,
+)
+from repro.core.errors import NotInGraphSIError, SolverError
+from repro.core.events import read, write
+from repro.core.histories import singleton_sessions
+from repro.core.models import SI, in_pre_exec_si
+from repro.core.transactions import initialisation_transaction, transaction
+from repro.graphs.dependency import dependency_graph
+from repro.graphs.extraction import graph_of
+
+
+def catalog_graphs():
+    return [
+        fig4_g1().graph,
+        fig4_g2().graph,
+        fig11_h6().graph,
+        fig12_g7().graph,
+        graph_of(write_skew().execution),
+    ]
+
+
+def graphs_equal(g1, g2) -> bool:
+    if dict(g1.wr) != dict(g2.wr):
+        return False
+    objs = set(g1.history.objects) | set(g2.history.objects)
+    return all(g1.ww_on(o).pairs == g2.ww_on(o).pairs for o in objs)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "graph", catalog_graphs(), ids=lambda g: g.history.sessions[1][0].tid
+    )
+    def test_result_in_exec_si(self, graph):
+        x = construct_execution(graph)
+        assert SI.satisfied_by(x)
+
+    @pytest.mark.parametrize(
+        "graph", catalog_graphs(), ids=lambda g: g.history.sessions[1][0].tid
+    )
+    def test_graph_preserved(self, graph):
+        x = construct_execution(graph)
+        assert graphs_equal(graph_of(x), graph)
+
+    @pytest.mark.parametrize(
+        "graph", catalog_graphs(), ids=lambda g: g.history.sessions[1][0].tid
+    )
+    def test_co_total(self, graph):
+        x = construct_execution(graph)
+        assert x.co.is_total_on(graph.transactions)
+
+
+class TestPreExecutionChain:
+    def test_chain_stays_in_pre_exec_si(self):
+        graph = fig4_g1().graph
+        for pre in pre_execution_chain(graph):
+            assert in_pre_exec_si(pre)
+
+    def test_chain_graph_preserved_at_every_step(self):
+        graph = fig12_g7().graph
+        for pre in pre_execution_chain(graph):
+            assert graphs_equal(graph_of(pre), graph)
+
+    def test_commit_order_grows_monotonically(self):
+        graph = fig12_g7().graph
+        chain = list(pre_execution_chain(graph))
+        for earlier, later in zip(chain, chain[1:]):
+            assert earlier.co.pairs < later.co.pairs
+            assert earlier.vis.pairs <= later.vis.pairs
+
+    def test_last_element_total(self):
+        graph = fig11_h6().graph
+        chain = list(pre_execution_chain(graph))
+        assert chain[-1].co_is_total()
+
+    def test_totalisation_steps_counts_chain(self):
+        graph = fig11_h6().graph
+        steps = totalisation_steps(graph)
+        assert steps == len(list(pre_execution_chain(graph))) - 1
+
+
+class TestInitialPreExecution:
+    def test_p0_in_pre_exec_si(self):
+        p0 = initial_pre_execution(fig4_g1().graph)
+        assert in_pre_exec_si(p0)
+
+    def test_non_graphsi_rejected(self):
+        # The lost-update graph has a WW;RW cycle: not in GraphSI.
+        init = initialisation_transaction(["acct"])
+        t1 = transaction("t1", read("acct", 0), write("acct", 50))
+        t2 = transaction("t2", read("acct", 0), write("acct", 25))
+        h = singleton_sessions(init, t1, t2)
+        graph = dependency_graph(
+            h,
+            wr={"acct": [(init, t1), (init, t2)]},
+            ww={"acct": [(init, t1), (t1, t2)]},
+        )
+        with pytest.raises(NotInGraphSIError) as excinfo:
+            initial_pre_execution(graph)
+        assert "witness" in str(excinfo.value)
+
+    def test_check_membership_skippable(self):
+        graph = fig4_g2().graph
+        p0 = initial_pre_execution(graph, check_membership=False)
+        assert in_pre_exec_si(p0)
+
+
+class TestPairPicker:
+    def test_default_picker_deterministic(self):
+        graph = fig12_g7().graph
+        x1 = construct_execution(graph)
+        x2 = construct_execution(graph)
+        assert x1.co == x2.co
+
+    def test_custom_picker_changes_commit_order(self):
+        graph = fig12_g7().graph
+
+        def reverse_picker(pre):
+            a, b = default_pair_picker(pre)
+            return (b, a)
+
+        x_fwd = construct_execution(graph)
+        x_rev = construct_execution(graph, pick_pair=reverse_picker)
+        assert SI.satisfied_by(x_rev)
+        assert x_fwd.co != x_rev.co
+
+    def test_picker_on_total_co_raises(self):
+        graph = fig4_g2().graph
+        x = construct_execution(graph)
+        from repro.core.executions import PreExecution
+
+        pre = PreExecution(x.history, x.vis, x.co)
+        with pytest.raises(SolverError):
+            default_pair_picker(pre)
+
+    def test_bad_picker_detected(self):
+        graph = fig12_g7().graph
+
+        def bad_picker(pre):
+            return next(iter(pre.co))  # already related
+
+        with pytest.raises(SolverError):
+            construct_execution(graph, pick_pair=bad_picker)

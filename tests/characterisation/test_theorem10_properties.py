@@ -1,0 +1,110 @@
+"""Property-based validation of Theorem 10 and Lemmas 12/15 (hypothesis).
+
+These tests sample random dependency graphs and executions and check the
+paper's central claims on every sample:
+
+* soundness (10(i)): every GraphSI graph is realised by the construction
+  as an execution in ExecSI with the same dependencies;
+* completeness (10(ii)): graphs of SI-engine runs are always in GraphSI;
+* Lemma 15: the closed form solves the Figure 3 system and is minimal;
+* Lemma 12: VIS ; RW ⊆ CO in every constructed SI execution.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.characterisation.completeness import check_lemma12
+from repro.characterisation.solver import (
+    Solution,
+    is_smaller_or_equal,
+    least_solution,
+    satisfies_inequalities,
+)
+from repro.characterisation.soundness import construct_execution
+from repro.core.models import SI
+from repro.graphs.classify import (
+    in_graph_psi,
+    in_graph_ser,
+    in_graph_si,
+    in_graph_si_by_cycles,
+)
+from repro.graphs.extraction import graph_of
+from repro.search.random_graphs import (
+    graph_from_si_run,
+    random_dependency_graph,
+    random_graphsi_graph,
+)
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+relaxed = settings(
+    max_examples=20,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def graphs_equal(g1, g2) -> bool:
+    if dict(g1.wr) != dict(g2.wr):
+        return False
+    objs = set(g1.history.objects) | set(g2.history.objects)
+    return all(g1.ww_on(o).pairs == g2.ww_on(o).pairs for o in objs)
+
+
+@relaxed
+@given(seeds)
+def test_soundness_roundtrip_on_random_graphsi_graphs(seed):
+    graph = random_graphsi_graph(seed, transactions=5, objects=3)
+    x = construct_execution(graph)
+    assert SI.satisfied_by(x)
+    assert graphs_equal(graph_of(x), graph)
+
+
+@relaxed
+@given(seeds)
+def test_soundness_roundtrip_on_engine_runs(seed):
+    graph = graph_from_si_run(seed, transactions=8, objects=4)
+    assert in_graph_si(graph)  # Theorem 10(ii) on the engine run
+    x = construct_execution(graph)
+    assert SI.satisfied_by(x)
+    assert graphs_equal(graph_of(x), graph)
+
+
+@relaxed
+@given(seeds)
+def test_lemma12_on_constructed_executions(seed):
+    graph = random_graphsi_graph(seed, transactions=5, objects=3)
+    x = construct_execution(graph)
+    assert check_lemma12(x) == []
+
+
+@relaxed
+@given(seeds)
+def test_lemma15_solution_and_minimality(seed):
+    graph = random_dependency_graph(seed, transactions=5, objects=3)
+    least = least_solution(graph)
+    assert satisfies_inequalities(graph, least)
+    if in_graph_si(graph):
+        x = construct_execution(graph)
+        actual = Solution(vis=x.vis, co=x.co)
+        assert satisfies_inequalities(graph, actual)
+        assert is_smaller_or_equal(least, actual)
+
+
+@relaxed
+@given(seeds)
+def test_graph_class_inclusions_on_random_graphs(seed):
+    graph = random_dependency_graph(seed, transactions=5, objects=3)
+    ser, si, psi = in_graph_ser(graph), in_graph_si(graph), in_graph_psi(graph)
+    if ser:
+        assert si
+    if si:
+        assert psi
+
+
+@settings(max_examples=10, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seeds)
+def test_compositional_vs_cycle_based_graphsi_check(seed):
+    graph = random_dependency_graph(seed, transactions=4, objects=3)
+    assert in_graph_si(graph) == in_graph_si_by_cycles(graph)

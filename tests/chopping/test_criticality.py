@@ -1,0 +1,136 @@
+"""Unit tests for the critical-cycle predicates (§5, Definitions 28/30)."""
+
+import pytest
+
+from repro.chopping.criticality import (
+    Criterion,
+    antidependencies_separated,
+    at_most_one_antidependency,
+    find_critical_cycle,
+    has_cpc_fragment,
+    is_critical,
+)
+from repro.graphs.cycles import Cycle, EdgeKind, LabeledDigraph, LabeledEdge
+
+
+def cyc(*spec):
+    """Build a cycle over nodes n0, n1, ... from a list of kinds."""
+    n = len(spec)
+    edges = tuple(
+        LabeledEdge(f"n{i}", f"n{(i + 1) % n}", kind)
+        for i, kind in enumerate(spec)
+    )
+    return Cycle(edges)
+
+
+C_WR, C_WW, C_RW = EdgeKind.WR, EdgeKind.WW, EdgeKind.RW
+S, P = EdgeKind.SUCCESSOR, EdgeKind.PREDECESSOR
+
+
+class TestFragment:
+    def test_conflict_predecessor_conflict_found(self):
+        assert has_cpc_fragment(cyc(C_WR, P, C_RW, S))
+
+    def test_successor_between_conflicts_not_enough(self):
+        assert not has_cpc_fragment(cyc(C_WR, S, C_RW, S))
+
+    def test_wraps_around(self):
+        assert has_cpc_fragment(cyc(P, C_RW, S, C_WR))
+
+
+class TestSeparation:
+    def test_adjacent_rws_not_separated(self):
+        assert not antidependencies_separated(cyc(C_RW, C_RW, C_WW, P))
+
+    def test_rws_separated_by_ww(self):
+        assert antidependencies_separated(cyc(C_RW, C_WW, C_RW, C_WR, P))
+
+    def test_wraparound_adjacency_counts(self):
+        # conflict sequence [RW, WW, RW]: the second RW wraps to the first
+        # with no separator.
+        assert not antidependencies_separated(cyc(C_RW, C_WW, C_RW, P))
+
+    def test_sibling_edges_ignored_for_adjacency(self):
+        # RW, P, RW: the predecessor edge does not separate the RWs.
+        assert not antidependencies_separated(cyc(C_RW, P, C_RW, C_WW))
+
+    def test_no_rw_vacuous(self):
+        assert antidependencies_separated(cyc(C_WR, P, C_WW))
+
+    def test_single_conflict_vacuous(self):
+        assert antidependencies_separated(cyc(C_RW, P, S))
+
+
+class TestAtMostOne:
+    def test_zero_and_one_pass(self):
+        assert at_most_one_antidependency(cyc(C_WR, P, C_WW))
+        assert at_most_one_antidependency(cyc(C_RW, P, C_WW))
+
+    def test_two_fail(self):
+        assert not at_most_one_antidependency(cyc(C_RW, C_WW, C_RW, P))
+
+
+class TestCriticality:
+    def test_paper_fig5_cycle_is_si_critical(self):
+        # RW ; S? ; WR ; P pattern from cycle (8): conflict edges RW, WR
+        # separated; fragment present.
+        cycle = cyc(C_RW, S, C_WR, P)
+        assert is_critical(cycle, Criterion.SI)
+        assert is_critical(cycle, Criterion.SER)
+
+    def test_fig11_cycle_ser_critical_only(self):
+        # Cycle (9): RW, P, RW, P — adjacent anti-dependencies.
+        cycle = cyc(C_RW, P, C_RW, P)
+        assert is_critical(cycle, Criterion.SER)
+        assert not is_critical(cycle, Criterion.SI)
+        assert not is_critical(cycle, Criterion.PSI)
+
+    def test_fig12_cycle_si_critical_not_psi(self):
+        # Cycle (10): WR, P, RW, WR, P, RW — two separated RWs.
+        cycle = cyc(C_WR, P, C_RW, C_WR, P, C_RW)
+        assert is_critical(cycle, Criterion.SI)
+        assert is_critical(cycle, Criterion.SER)
+        assert not is_critical(cycle, Criterion.PSI)
+
+    def test_no_fragment_never_critical(self):
+        cycle = cyc(C_WR, S, C_RW, S)
+        for criterion in Criterion:
+            assert not is_critical(cycle, criterion)
+
+    def test_psi_critical_implies_si_critical(self):
+        cycles = [
+            cyc(C_WR, P, C_WW),
+            cyc(C_RW, P, C_WR),
+            cyc(C_RW, P, C_RW, P),
+            cyc(C_WR, P, C_RW, C_WR, P, C_RW),
+        ]
+        for cycle in cycles:
+            if is_critical(cycle, Criterion.PSI):
+                assert is_critical(cycle, Criterion.SI)
+            if is_critical(cycle, Criterion.SI):
+                assert is_critical(cycle, Criterion.SER)
+
+
+class TestFindCriticalCycle:
+    def test_finds_witness(self):
+        g = LabeledDigraph(
+            [
+                LabeledEdge("a", "b", C_RW),
+                LabeledEdge("b", "c", S),
+                LabeledEdge("c", "a2", C_WR),
+                LabeledEdge("a2", "a", P),
+            ]
+        )
+        witness = find_critical_cycle(g, Criterion.SI)
+        assert witness is not None
+        assert has_cpc_fragment(witness)
+
+    def test_none_when_clean(self):
+        g = LabeledDigraph(
+            [LabeledEdge("a", "b", C_WR), LabeledEdge("b", "a", C_RW)]
+        )
+        assert find_critical_cycle(g, Criterion.SI) is None
+
+    def test_unknown_criterion_rejected(self):
+        with pytest.raises(ValueError):
+            is_critical(cyc(C_WR, P, C_WW), "bogus")

@@ -1,0 +1,105 @@
+"""Unit tests for the dynamic chopping graph and Theorem 16."""
+
+import pytest
+
+from repro.anomalies import fig4_g1, fig4_g2, fig11_h6, fig12_g7
+from repro.chopping.criticality import Criterion
+from repro.chopping.dynamic import (
+    check_chopping,
+    dynamic_chopping_graph,
+    is_spliceable_by_criterion,
+    splice_if_safe,
+)
+from repro.chopping.splice import splice_history
+from repro.graphs.classify import in_graph_si
+from repro.graphs.cycles import EdgeKind
+
+
+class TestDCGStructure:
+    def test_successor_and_predecessor_edges(self):
+        g = fig4_g1().graph
+        dcg = dynamic_chopping_graph(g)
+        kinds = {(e.src, e.dst, e.kind) for e in dcg.edges}
+        assert ("t_tr1", "t_tr2", EdgeKind.SUCCESSOR) in kinds
+        assert ("t_tr2", "t_tr1", EdgeKind.PREDECESSOR) in kinds
+
+    def test_conflict_edges_cross_sessions_only(self):
+        g = fig11_h6().graph
+        dcg = dynamic_chopping_graph(g)
+        h = g.history
+        for e in dcg.edges:
+            if e.kind in (EdgeKind.WR, EdgeKind.WW, EdgeKind.RW):
+                a, b = h.by_tid(e.src), h.by_tid(e.dst)
+                assert not h.same_session(a, b)
+
+    def test_no_so_kind_edges(self):
+        dcg = dynamic_chopping_graph(fig4_g1().graph)
+        assert all(e.kind is not EdgeKind.SO for e in dcg.edges)
+
+    def test_nodes_are_all_transactions(self):
+        g = fig4_g2().graph
+        dcg = dynamic_chopping_graph(g)
+        assert dcg.nodes == {t.tid for t in g.transactions}
+
+
+class TestTheorem16:
+    def test_g1_has_si_critical_cycle(self):
+        verdict = check_chopping(fig4_g1().graph, Criterion.SI)
+        assert not verdict.passes
+        assert verdict.witness is not None
+        # The paper's witness: s --RW--> t_tr2 --P--> t_tr1 --WR--> s.
+        nodes = set(verdict.witness.nodes)
+        assert nodes == {"s", "t_tr1", "t_tr2"}
+
+    def test_g2_passes(self):
+        verdict = check_chopping(fig4_g2().graph, Criterion.SI)
+        assert verdict.passes
+        assert verdict.witness is None
+
+    def test_criterion_sound_for_catalog(self):
+        # Wherever the criterion passes, splice(G) must be in GraphSI
+        # (Theorem 16's guarantee).
+        for case in (fig4_g1(), fig4_g2(), fig11_h6(), fig12_g7()):
+            if is_spliceable_by_criterion(case.graph):
+                spliced = splice_if_safe(case.graph)
+                assert spliced is not None
+                assert in_graph_si(spliced)
+                assert spliced.history.transactions == splice_history(
+                    case.history
+                ).transactions
+
+    def test_splice_if_safe_refuses_unsafe(self):
+        assert splice_if_safe(fig4_g1().graph) is None
+
+    def test_fig11_si_safe_fig12_not(self):
+        assert is_spliceable_by_criterion(fig11_h6().graph)
+        assert not is_spliceable_by_criterion(fig12_g7().graph)
+
+    def test_verdict_str(self):
+        good = check_chopping(fig4_g2().graph)
+        bad = check_chopping(fig4_g1().graph)
+        assert "no SI-critical cycle" in str(good)
+        assert "SI-critical cycle" in str(bad)
+
+
+class TestCriteriaOrdering:
+    def test_ser_critical_superset_of_si_critical(self):
+        # If a DCG passes the SER criterion it passes the SI one.
+        for case in (fig4_g1(), fig4_g2(), fig11_h6(), fig12_g7()):
+            ser = check_chopping(case.graph, Criterion.SER).passes
+            si = check_chopping(case.graph, Criterion.SI).passes
+            psi = check_chopping(case.graph, Criterion.PSI).passes
+            if ser:
+                assert si
+            if si:
+                assert psi
+
+    def test_fig11_separates_ser_from_si(self):
+        g = fig11_h6().graph
+        assert not check_chopping(g, Criterion.SER).passes
+        assert check_chopping(g, Criterion.SI).passes
+
+    def test_fig12_separates_si_from_psi(self):
+        g = fig12_g7().graph
+        assert not check_chopping(g, Criterion.SI).passes
+        assert check_chopping(g, Criterion.PSI).passes

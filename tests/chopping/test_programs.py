@@ -1,0 +1,104 @@
+"""Unit tests for the program DSL and the paper's example programs."""
+
+import pytest
+
+from repro.chopping.programs import (
+    PAPER_CHOPPINGS,
+    Program,
+    lookup1_program,
+    lookup_all_program,
+    p1_programs,
+    p2_programs,
+    p3_programs,
+    p4_programs,
+    paper_chopping,
+    piece,
+    program,
+    replicate,
+    transfer_program,
+)
+
+
+class TestPiece:
+    def test_sets_are_frozen(self):
+        p = piece({"x"}, {"y"})
+        assert p.reads == frozenset({"x"})
+        assert p.writes == frozenset({"y"})
+
+    def test_label_rendering(self):
+        assert str(piece({"x"}, (), label="var1 = x")) == "var1 = x"
+        assert "R['x']" in str(piece({"x"}, ()))
+
+
+class TestProgram:
+    def test_requires_pieces(self):
+        with pytest.raises(ValueError):
+            Program("empty", ())
+
+    def test_union_sets(self):
+        p = transfer_program()
+        assert p.reads == {"acct1", "acct2"}
+        assert p.writes == {"acct1", "acct2"}
+
+    def test_unchopped_single_piece(self):
+        whole = transfer_program().unchopped()
+        assert len(whole) == 1
+        assert whole.pieces[0].reads == {"acct1", "acct2"}
+
+    def test_len(self):
+        assert len(transfer_program()) == 2
+        assert len(lookup1_program()) == 1
+
+
+class TestReplicate:
+    def test_names_suffixed(self):
+        copies = replicate([transfer_program()], 3)
+        assert [p.name for p in copies] == [
+            "transfer#0", "transfer#1", "transfer#2",
+        ]
+
+    def test_pieces_shared(self):
+        original = transfer_program()
+        copy = replicate([original], 1)[0]
+        assert copy.pieces == original.pieces
+
+
+class TestPaperPrograms:
+    def test_transfer_read_write_sets_match_paper(self):
+        p = transfer_program()
+        assert p.pieces[0].reads == {"acct1"}
+        assert p.pieces[0].writes == {"acct1"}
+        assert p.pieces[1].reads == {"acct2"}
+        assert p.pieces[1].writes == {"acct2"}
+
+    def test_lookup_all_chopped_into_two_reads(self):
+        p = lookup_all_program()
+        assert len(p) == 2
+        assert p.pieces[0].reads == {"acct1"} and not p.pieces[0].writes
+        assert p.pieces[1].reads == {"acct2"} and not p.pieces[1].writes
+
+    def test_p1_to_p4_composition(self):
+        assert [p.name for p in p1_programs()] == ["transfer", "lookupAll"]
+        assert [p.name for p in p2_programs()] == [
+            "transfer", "lookup1", "lookup2",
+        ]
+        assert [p.name for p in p3_programs()] == ["write1", "write2"]
+        assert [p.name for p in p4_programs()] == [
+            "write1", "write2", "read1", "read2",
+        ]
+
+    def test_p3_write1_pieces(self):
+        write1 = p3_programs()[0]
+        assert write1.pieces[0].reads == {"x"}
+        assert not write1.pieces[0].writes
+        assert not write1.pieces[1].reads
+        assert write1.pieces[1].writes == {"y"}
+
+    def test_paper_chopping_index(self):
+        for name in PAPER_CHOPPINGS:
+            programs = paper_chopping(name)
+            assert tuple(p.name for p in programs) == PAPER_CHOPPINGS[name]
+
+    def test_unknown_chopping_rejected(self):
+        with pytest.raises(KeyError):
+            paper_chopping("P9")

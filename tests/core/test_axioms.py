@@ -1,0 +1,221 @@
+"""Unit tests for the consistency axioms of Figure 1."""
+
+import pytest
+
+from repro.core.axioms import (
+    ALL_AXIOMS,
+    EXT,
+    INT,
+    NOCONFLICT,
+    PREFIX,
+    SESSION,
+    TOTALVIS,
+    TRANSVIS,
+    check_ext,
+    check_int,
+    check_noconflict,
+    check_prefix,
+    check_session,
+    check_totalvis,
+    check_transvis,
+)
+from repro.core.events import read, write
+from repro.core.executions import execution
+from repro.core.histories import history, singleton_sessions
+from repro.core.transactions import initialisation_transaction, transaction
+
+
+def writer_reader():
+    init = initialisation_transaction(["x", "y"])
+    t1 = transaction("t1", write("x", 1))
+    t2 = transaction("t2", read("x", 1))
+    return init, t1, t2
+
+
+class TestINT:
+    def test_holds_on_consistent_transactions(self):
+        init, t1, t2 = writer_reader()
+        h = singleton_sessions(init, t1, t2)
+        x = execution(
+            h, vis=[(init, t1), (init, t2), (t1, t2)],
+            co=[(init, t1), (t1, t2)],
+        )
+        assert not check_int(x)
+        assert INT.holds(x)
+
+    def test_detects_violation(self):
+        init = initialisation_transaction(["x"])
+        bad = transaction("bad", write("x", 1), read("x", 99))
+        h = singleton_sessions(init, bad)
+        x = execution(h, vis=[(init, bad)], co=[(init, bad)])
+        assert check_int(x)
+
+
+class TestEXT:
+    def test_reads_latest_visible_write(self):
+        init, t1, t2 = writer_reader()
+        h = singleton_sessions(init, t1, t2)
+        x = execution(
+            h, vis=[(init, t1), (init, t2), (t1, t2)],
+            co=[(init, t1), (t1, t2)],
+        )
+        assert not check_ext(x)
+
+    def test_violation_when_reading_stale_value(self):
+        init, t1, t2 = writer_reader()
+        h = singleton_sessions(init, t1, t2)
+        # t2 sees t1 (which wrote x=1) but claims to read x=1 from init...
+        # make t2 read 0 while seeing t1: violation.
+        t2_stale = transaction("t2", read("x", 0))
+        h = singleton_sessions(init, t1, t2_stale)
+        x = execution(
+            h, vis=[(init, t1), (init, t2_stale), (t1, t2_stale)],
+            co=[(init, t1), (t1, t2_stale)],
+        )
+        violations = check_ext(x)
+        assert violations and "latest visible writer" in violations[0]
+
+    def test_violation_when_no_visible_writer(self):
+        init, t1, t2 = writer_reader()
+        h = singleton_sessions(init, t1, t2)
+        x = execution(h, vis=[(init, t1)], co=[(init, t1), (t1, t2)])
+        violations = check_ext(x)
+        assert any("no visible" in v for v in violations)
+
+    def test_own_write_not_required_for_ext(self):
+        # A transaction writing x before reading it has no external read.
+        init = initialisation_transaction(["x"])
+        t = transaction("t", write("x", 5), read("x", 5))
+        h = singleton_sessions(init, t)
+        x = execution(h, vis=[(init, t)], co=[(init, t)])
+        assert not check_ext(x)
+
+    def test_max_undefined_reported(self):
+        # Two visible writers unrelated by CO -> no CO-maximum.
+        init = initialisation_transaction(["x"])
+        a = transaction("a", write("x", 1))
+        b = transaction("b", write("x", 2))
+        r = transaction("r", read("x", 2))
+        h = singleton_sessions(init, a, b, r)
+        from repro.core.executions import PreExecution
+        from repro.core.relations import Relation
+
+        vis = Relation([(init, a), (init, b), (init, r), (a, r), (b, r)])
+        co = vis.transitive_closure()
+        p = PreExecution(h, vis, co)
+        violations = check_ext(p)
+        assert any("no CO-maximum" in v for v in violations)
+
+
+class TestSESSION:
+    def test_requires_so_in_vis(self):
+        init, t1, t2 = writer_reader()
+        h = history([init], [t1, t2])
+        x = execution(
+            h, vis=[(init, t1), (init, t2)], co=[(init, t1), (t1, t2)]
+        )
+        violations = check_session(x)
+        assert violations and "SO" in violations[0]
+
+    def test_holds_when_vis_contains_so(self):
+        init, t1, t2 = writer_reader()
+        h = history([init], [t1, t2])
+        x = execution(
+            h, vis=[(init, t1), (init, t2), (t1, t2)],
+            co=[(init, t1), (t1, t2)],
+        )
+        assert not check_session(x)
+
+
+class TestPREFIX:
+    def test_long_fork_violates_prefix(self):
+        init = initialisation_transaction(["x", "y"])
+        t1 = transaction("t1", write("x", 1))
+        t2 = transaction("t2", write("y", 1))
+        t3 = transaction("t3", read("x", 1), read("y", 0))
+        t4 = transaction("t4", read("x", 0), read("y", 1))
+        h = singleton_sessions(init, t1, t2, t3, t4)
+        x = execution(
+            h,
+            vis=[(init, t1), (init, t2), (init, t3), (init, t4),
+                 (t1, t3), (t2, t4)],
+            co=[(init, t1), (t1, t2), (t2, t3), (t3, t4)],
+        )
+        assert check_prefix(x)  # t1 CO t2 VIS t4 but not t1 VIS t4
+
+    def test_holds_when_vis_prefix_closed(self):
+        init, t1, t2 = writer_reader()
+        h = singleton_sessions(init, t1, t2)
+        x = execution(
+            h, vis=[(init, t1), (init, t2), (t1, t2)],
+            co=[(init, t1), (t1, t2)],
+        )
+        assert not check_prefix(x)
+
+
+class TestNOCONFLICT:
+    def test_concurrent_writers_flagged(self):
+        init = initialisation_transaction(["acct"])
+        t1 = transaction("t1", read("acct", 0), write("acct", 50))
+        t2 = transaction("t2", read("acct", 0), write("acct", 25))
+        h = singleton_sessions(init, t1, t2)
+        x = execution(
+            h, vis=[(init, t1), (init, t2)], co=[(init, t1), (t1, t2)]
+        )
+        violations = check_noconflict(x)
+        assert violations and "both write acct" in violations[0]
+
+    def test_ordered_writers_pass(self):
+        init = initialisation_transaction(["acct"])
+        t1 = transaction("t1", write("acct", 50))
+        t2 = transaction("t2", write("acct", 75))
+        h = singleton_sessions(init, t1, t2)
+        x = execution(
+            h, vis=[(init, t1), (init, t2), (t1, t2)],
+            co=[(init, t1), (t1, t2)],
+        )
+        assert not check_noconflict(x)
+
+
+class TestTOTALVIS:
+    def test_partial_vis_flagged(self):
+        init, t1, t2 = writer_reader()
+        h = singleton_sessions(init, t1, t2)
+        x = execution(
+            h, vis=[(init, t1), (init, t2)], co=[(init, t1), (t1, t2)]
+        )
+        assert check_totalvis(x)
+
+    def test_total_vis_passes(self):
+        init, t1, t2 = writer_reader()
+        h = singleton_sessions(init, t1, t2)
+        x = execution(
+            h, vis=[(init, t1), (init, t2), (t1, t2)],
+            co=[(init, t1), (t1, t2)],
+        )
+        assert not check_totalvis(x)
+
+
+class TestTRANSVIS:
+    def test_intransitive_vis_flagged(self):
+        init = initialisation_transaction(["x", "y"])
+        t1 = transaction("t1", write("x", 1))
+        t2 = transaction("t2", read("x", 1), write("y", 2))
+        t3 = transaction("t3", read("y", 2), read("x", 0))
+        h = singleton_sessions(init, t1, t2, t3)
+        from repro.core.executions import AbstractExecution
+        from repro.core.relations import Relation
+
+        vis = Relation(
+            [(init, t1), (init, t2), (init, t3), (t1, t2), (t2, t3)]
+        )
+        co = Relation.total_order([init, t1, t2, t3])
+        x = AbstractExecution(h, vis, co)
+        assert check_transvis(x)
+
+    def test_axiom_objects_have_names(self):
+        names = {a.name for a in ALL_AXIOMS}
+        assert names == {
+            "INT", "EXT", "SESSION", "PREFIX",
+            "NOCONFLICT", "TOTALVIS", "TRANSVIS",
+        }

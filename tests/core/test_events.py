@@ -1,0 +1,62 @@
+"""Unit tests for events and operations (Definition 1)."""
+
+import pytest
+
+from repro.core.events import Event, Op, OpKind, read, write
+
+
+class TestOp:
+    def test_read_constructor(self):
+        op = read("x", 5)
+        assert op.kind is OpKind.READ
+        assert op.obj == "x"
+        assert op.value == 5
+
+    def test_write_constructor(self):
+        op = write("y", 7)
+        assert op.kind is OpKind.WRITE
+        assert op.obj == "y"
+        assert op.value == 7
+
+    def test_is_read_is_write(self):
+        assert read("x", 0).is_read
+        assert not read("x", 0).is_write
+        assert write("x", 0).is_write
+        assert not write("x", 0).is_read
+
+    def test_equality_is_structural(self):
+        assert read("x", 1) == read("x", 1)
+        assert read("x", 1) != read("x", 2)
+        assert read("x", 1) != write("x", 1)
+        assert read("x", 1) != read("y", 1)
+
+    def test_hashable(self):
+        assert len({read("x", 1), read("x", 1), write("x", 1)}) == 2
+
+    def test_str_rendering(self):
+        assert str(read("x", 1)) == "read(x, 1)"
+        assert str(write("acct", -30)) == "write(acct, -30)"
+
+    def test_values_may_be_arbitrary_hashables(self):
+        op = write("x", ("tuple", 1))
+        assert op.value == ("tuple", 1)
+
+
+class TestEvent:
+    def test_accessors_delegate_to_op(self):
+        e = Event(0, read("x", 3))
+        assert e.is_read
+        assert not e.is_write
+        assert e.obj == "x"
+        assert e.value == 3
+
+    def test_distinct_ids_distinguish_same_op(self):
+        e1 = Event(0, read("x", 3))
+        e2 = Event(1, read("x", 3))
+        assert e1 != e2
+
+    def test_same_id_same_op_equal(self):
+        assert Event(0, read("x", 3)) == Event(0, read("x", 3))
+
+    def test_str_rendering(self):
+        assert str(Event(2, write("x", 1))) == "e2:write(x, 1)"

@@ -1,0 +1,150 @@
+"""Unit tests for abstract executions and pre-executions (Defs 3, 11)."""
+
+import pytest
+
+from repro.core.errors import MalformedExecutionError
+from repro.core.events import read, write
+from repro.core.executions import (
+    AbstractExecution,
+    PreExecution,
+    execution,
+    execution_from_commit_sequence,
+    pre_execution,
+)
+from repro.core.histories import history, singleton_sessions
+from repro.core.relations import Relation
+from repro.core.transactions import transaction
+
+
+@pytest.fixture
+def simple_history():
+    t1 = transaction("t1", write("x", 1))
+    t2 = transaction("t2", read("x", 1))
+    return t1, t2, singleton_sessions(
+        transaction("t1", write("x", 1)), transaction("t2", read("x", 1))
+    )
+
+
+def make_txns():
+    t1 = transaction("t1", write("x", 1))
+    t2 = transaction("t2", read("x", 1))
+    t3 = transaction("t3", write("y", 3))
+    return t1, t2, t3
+
+
+class TestWellFormedness:
+    def test_valid_execution(self):
+        t1, t2, _ = make_txns()
+        h = singleton_sessions(t1, t2)
+        x = execution(h, vis=[(t1, t2)], co=[(t1, t2)])
+        assert isinstance(x, AbstractExecution)
+
+    def test_vis_must_be_in_co(self):
+        t1, t2, _ = make_txns()
+        h = singleton_sessions(t1, t2)
+        with pytest.raises(MalformedExecutionError):
+            AbstractExecution(
+                h,
+                vis=Relation([(t1, t2)]),
+                co=Relation([(t2, t1)]),
+            )
+
+    def test_co_must_be_total_for_execution(self):
+        t1, t2, t3 = make_txns()
+        h = singleton_sessions(t1, t2, t3)
+        with pytest.raises(MalformedExecutionError):
+            execution(h, vis=[], co=[(t1, t2)])
+
+    def test_pre_execution_allows_partial_co(self):
+        t1, t2, t3 = make_txns()
+        h = singleton_sessions(t1, t2, t3)
+        p = pre_execution(h, vis=[], co=[(t1, t2)])
+        assert isinstance(p, PreExecution)
+        assert not p.co_is_total()
+
+    def test_cyclic_co_rejected(self):
+        t1, t2, _ = make_txns()
+        h = singleton_sessions(t1, t2)
+        with pytest.raises(MalformedExecutionError):
+            PreExecution(
+                h,
+                vis=Relation.empty(h.transactions),
+                co=Relation([(t1, t2), (t2, t1), (t1, t1), (t2, t2)]),
+            )
+
+    def test_irreflexive_vis_required(self):
+        t1, t2, _ = make_txns()
+        h = singleton_sessions(t1, t2)
+        with pytest.raises(MalformedExecutionError):
+            PreExecution(
+                h,
+                vis=Relation([(t1, t1)]),
+                co=Relation([(t1, t1)]),
+            )
+
+    def test_stray_transactions_rejected(self):
+        t1, t2, t3 = make_txns()
+        h = singleton_sessions(t1, t2)
+        with pytest.raises(MalformedExecutionError):
+            pre_execution(h, vis=[(t1, t3)], co=[(t1, t3)])
+
+    def test_vis_need_not_be_transitive(self):
+        # TRANSVIS is an axiom, not a well-formedness condition.
+        t1, t2, t3 = make_txns()
+        h = singleton_sessions(t1, t2, t3)
+        co = Relation.total_order([t1, t2, t3])
+        vis = Relation([(t1, t2), (t2, t3)])
+        x = AbstractExecution(h, vis, co)
+        assert (t1, t3) not in x.vis
+
+    def test_validate_false_skips_checks(self):
+        t1, t2, _ = make_txns()
+        h = singleton_sessions(t1, t2)
+        p = PreExecution(
+            h, vis=Relation([(t1, t1)]), co=Relation([(t1, t1)]),
+            validate=False,
+        )
+        assert p.well_formedness_violations()
+
+
+class TestViews:
+    def test_visible_writers(self):
+        t1, t2, t3 = make_txns()
+        h = singleton_sessions(t1, t2, t3)
+        x = execution(h, vis=[(t1, t2), (t3, t2)], co=[(t1, t3), (t3, t2)])
+        assert x.visible_writers(t2, "x") == {t1}
+        assert x.visible_writers(t2, "y") == {t3}
+        assert x.visible_writers(t1, "x") == frozenset()
+
+    def test_commit_sequence(self):
+        t1, t2, t3 = make_txns()
+        h = singleton_sessions(t1, t2, t3)
+        x = execution_from_commit_sequence(h, [t2, t1, t3])
+        assert [t.tid for t in x.commit_sequence] == ["t2", "t1", "t3"]
+
+    def test_commit_sequence_vis_defaults_to_co(self):
+        t1, t2, _ = make_txns()
+        h = singleton_sessions(t1, t2)
+        x = execution_from_commit_sequence(h, [t1, t2])
+        assert x.vis == x.co
+
+    def test_as_execution_promotes_total_pre(self):
+        t1, t2, _ = make_txns()
+        h = singleton_sessions(t1, t2)
+        p = pre_execution(h, vis=[], co=[(t1, t2)])
+        x = p.as_execution()
+        assert isinstance(x, AbstractExecution)
+
+    def test_describe_lists_edges(self):
+        t1, t2, _ = make_txns()
+        h = singleton_sessions(t1, t2)
+        x = execution(h, vis=[(t1, t2)], co=[(t1, t2)])
+        text = x.describe()
+        assert "t1->t2" in text
+
+    def test_transitive_closure_applied_by_constructor(self):
+        t1, t2, t3 = make_txns()
+        h = singleton_sessions(t1, t2, t3)
+        x = execution(h, vis=[(t1, t2), (t2, t3)], co=[(t1, t2), (t2, t3)])
+        assert (t1, t3) in x.co
+        assert (t1, t3) in x.vis

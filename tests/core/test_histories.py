@@ -1,0 +1,138 @@
+"""Unit tests for histories and sessions (Definition 2)."""
+
+import pytest
+
+from repro.core.errors import MalformedHistoryError
+from repro.core.events import read, write
+from repro.core.histories import (
+    History,
+    history,
+    single_session,
+    singleton_sessions,
+    with_initialisation,
+)
+from repro.core.transactions import initialisation_transaction, transaction
+
+
+@pytest.fixture
+def txns():
+    t1 = transaction("t1", write("x", 1))
+    t2 = transaction("t2", read("x", 1))
+    t3 = transaction("t3", write("y", 2))
+    return t1, t2, t3
+
+
+class TestConstruction:
+    def test_history_builder(self, txns):
+        t1, t2, t3 = txns
+        h = history([t1, t2], [t3])
+        assert len(h) == 3
+        assert len(h.sessions) == 2
+
+    def test_duplicate_tid_rejected(self, txns):
+        t1, _, _ = txns
+        clone = transaction("t1", write("z", 0))
+        with pytest.raises(MalformedHistoryError):
+            history([t1], [clone])
+
+    def test_empty_session_rejected(self, txns):
+        t1, _, _ = txns
+        with pytest.raises(MalformedHistoryError):
+            history([t1], [])
+
+    def test_single_session(self, txns):
+        t1, t2, _ = txns
+        h = single_session(t1, t2)
+        assert len(h.sessions) == 1
+
+    def test_singleton_sessions(self, txns):
+        t1, t2, t3 = txns
+        h = singleton_sessions(t1, t2, t3)
+        assert len(h.sessions) == 3
+        assert not h.session_order
+
+    def test_with_initialisation_prepends_session(self, txns):
+        t1, _, _ = txns
+        init = initialisation_transaction(["x"])
+        h = with_initialisation(history([t1]), init)
+        assert h.sessions[0] == (init,)
+        assert len(h) == 2
+
+
+class TestSessionOrder:
+    def test_so_orders_within_session(self, txns):
+        t1, t2, t3 = txns
+        h = history([t1, t2], [t3])
+        so = h.session_order
+        assert (t1, t2) in so
+        assert (t2, t1) not in so
+        assert (t1, t3) not in so
+
+    def test_so_is_union_of_total_orders(self, txns):
+        t1, t2, t3 = txns
+        h = history([t1, t2, t3])
+        so = h.session_order
+        assert (t1, t3) in so and (t2, t3) in so
+        assert so.is_strict_total_order({t1, t2, t3})
+
+    def test_same_session(self, txns):
+        t1, t2, t3 = txns
+        h = history([t1, t2], [t3])
+        assert h.same_session(t1, t2)
+        assert h.same_session(t1, t1)
+        assert not h.same_session(t1, t3)
+
+    def test_session_of(self, txns):
+        t1, t2, t3 = txns
+        h = history([t1, t2], [t3])
+        assert h.session_of(t1) == 0
+        assert h.session_of(t3) == 1
+
+    def test_session_of_unknown_raises(self, txns):
+        t1, _, _ = txns
+        h = history([t1])
+        with pytest.raises(KeyError):
+            h.session_of(transaction("zz", read("x", 0)))
+
+
+class TestViews:
+    def test_transactions_and_lookup(self, txns):
+        t1, t2, t3 = txns
+        h = history([t1, t2], [t3])
+        assert h.transactions == {t1, t2, t3}
+        assert h.by_tid("t2") == t2
+        with pytest.raises(KeyError):
+            h.by_tid("nope")
+
+    def test_contains(self, txns):
+        t1, _, t3 = txns
+        h = history([t1])
+        assert t1 in h
+        assert t3 not in h
+
+    def test_objects(self, txns):
+        t1, t2, t3 = txns
+        h = history([t1, t2], [t3])
+        assert h.objects == {"x", "y"}
+
+    def test_write_transactions(self, txns):
+        t1, t2, t3 = txns
+        h = history([t1, t2], [t3])
+        assert h.write_transactions("x") == {t1}
+        assert h.write_transactions("y") == {t3}
+        assert h.write_transactions("z") == frozenset()
+
+    def test_transaction_list_session_major(self, txns):
+        t1, t2, t3 = txns
+        h = history([t1, t2], [t3])
+        assert h.transaction_list == [t1, t2, t3]
+
+    def test_internal_consistency(self, txns):
+        t1, t2, _ = txns
+        assert history([t1, t2]).is_internally_consistent()
+        bad = transaction("bad", write("x", 1), read("x", 99))
+        assert not history([bad]).is_internally_consistent()
+
+    def test_describe_mentions_sessions(self, txns):
+        t1, _, _ = txns
+        assert "session 0" in history([t1]).describe()

@@ -1,0 +1,81 @@
+"""Unit tests for the SI / SER / PSI consistency models (Defs 4, 20)."""
+
+import pytest
+
+from repro.anomalies import (
+    long_fork,
+    lost_update,
+    session_guarantees,
+    write_skew,
+)
+from repro.core.models import MODELS, PSI, SER, SI, in_exec_si
+from repro.core.events import read, write
+from repro.core.executions import execution
+from repro.core.histories import singleton_sessions
+from repro.core.transactions import initialisation_transaction, transaction
+
+
+class TestModelDefinitions:
+    def test_axiom_sets_match_definitions(self):
+        assert [a.name for a in SI.axioms] == [
+            "INT", "EXT", "SESSION", "PREFIX", "NOCONFLICT",
+        ]
+        assert [a.name for a in SER.axioms] == [
+            "INT", "EXT", "SESSION", "TOTALVIS",
+        ]
+        assert [a.name for a in PSI.axioms] == [
+            "INT", "EXT", "SESSION", "TRANSVIS", "NOCONFLICT",
+        ]
+
+    def test_models_registry(self):
+        assert set(MODELS) == {"SI", "SER", "PSI"}
+        assert MODELS["SI"] is SI
+
+
+class TestCanonicalExecutions:
+    def test_write_skew_execution_in_si_not_ser(self):
+        x = write_skew().execution
+        assert SI.satisfied_by(x)
+        assert PSI.satisfied_by(x)
+        assert not SER.satisfied_by(x)
+
+    def test_session_guarantees_execution_in_all(self):
+        x = session_guarantees().execution
+        assert SI.satisfied_by(x)
+        assert SER.satisfied_by(x)
+        assert PSI.satisfied_by(x)
+
+    def test_serial_execution_satisfies_everything(self):
+        init = initialisation_transaction(["x"])
+        t1 = transaction("t1", read("x", 0), write("x", 1))
+        t2 = transaction("t2", read("x", 1), write("x", 2))
+        h = singleton_sessions(init, t1, t2)
+        x = execution(
+            h,
+            vis=[(init, t1), (init, t2), (t1, t2)],
+            co=[(init, t1), (t1, t2)],
+        )
+        for model in MODELS.values():
+            assert model.satisfied_by(x), model.name
+
+
+class TestDiagnostics:
+    def test_violations_grouped_by_axiom(self):
+        x = write_skew().execution
+        violations = SER.violations(x)
+        assert set(violations) == {"TOTALVIS"}
+
+    def test_explain_mentions_model(self):
+        x = write_skew().execution
+        assert "violates SER" in SER.explain(x)
+        assert "satisfies SI" in SI.explain(x)
+
+    def test_in_exec_si_helper(self):
+        assert in_exec_si(write_skew().execution)
+
+    def test_si_implies_psi_on_executions(self):
+        # PREFIX plus VIS ⊆ CO gives transitive VIS, so ExecSI ⊆ ExecPSI.
+        for case in (session_guarantees(), write_skew()):
+            x = case.execution
+            if SI.satisfied_by(x):
+                assert PSI.satisfied_by(x)

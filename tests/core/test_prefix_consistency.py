@@ -1,0 +1,90 @@
+"""Tests for the prefix-consistency (PC) extension model.
+
+PC = {INT, EXT, SESSION, PREFIX} — SI without write-conflict detection;
+the model the paper's §7 names as the next target for its construction
+technique.  Expected anomaly profile: lost update allowed (no
+NOCONFLICT), long fork forbidden (PREFIX), write skew allowed.
+"""
+
+import pytest
+
+from repro.anomalies import (
+    long_fork,
+    lost_update,
+    session_guarantees,
+    write_skew,
+)
+from repro.characterisation.exec_search import (
+    find_execution,
+    history_allowed,
+)
+from repro.core.models import AXIOMATIC_MODELS, MODELS, PC, SER, SI
+
+
+class TestModelDefinition:
+    def test_axioms(self):
+        assert [a.name for a in PC.axioms] == [
+            "INT", "EXT", "SESSION", "PREFIX",
+        ]
+
+    def test_in_axiomatic_registry_not_graph_registry(self):
+        assert "PC" in AXIOMATIC_MODELS
+        assert "PC" not in MODELS  # no graph characterisation
+
+    def test_si_executions_are_pc_executions(self):
+        # SI's axioms include PC's, so ExecSI ⊆ ExecPC.
+        for case in (session_guarantees(), write_skew()):
+            x = case.execution
+            if SI.satisfied_by(x):
+                assert PC.satisfied_by(x)
+
+
+class TestAnomalyProfile:
+    def test_lost_update_allowed(self):
+        case = lost_update()
+        assert history_allowed(case.history, "PC", init_tid=case.init_tid)
+        # ... which neither SI nor SER allows:
+        assert not history_allowed(case.history, "SI", init_tid=case.init_tid)
+
+    def test_long_fork_forbidden(self):
+        case = long_fork()
+        assert not history_allowed(case.history, "PC", init_tid=case.init_tid)
+
+    def test_write_skew_allowed(self):
+        case = write_skew()
+        assert history_allowed(case.history, "PC", init_tid=case.init_tid)
+
+    def test_session_guarantees_allowed(self):
+        case = session_guarantees()
+        assert history_allowed(case.history, "PC", init_tid=case.init_tid)
+
+    def test_hist_si_subset_of_hist_pc(self):
+        # On all catalog cases: SI-allowed implies PC-allowed.
+        from repro.anomalies import ALL_CASES
+
+        for name, ctor in sorted(ALL_CASES.items()):
+            case = ctor()
+            if len(case.history) > 5:
+                continue
+            if history_allowed(case.history, "SI", init_tid=case.init_tid):
+                assert history_allowed(
+                    case.history, "PC", init_tid=case.init_tid
+                ), name
+
+
+class TestWitnesses:
+    def test_lost_update_witness_violates_noconflict_only(self):
+        case = lost_update()
+        x = find_execution(case.history, "PC", init_tid=case.init_tid)
+        assert x is not None
+        assert PC.satisfied_by(x)
+        violations = SI.violations(x)
+        assert set(violations) == {"NOCONFLICT"}
+
+    def test_witness_satisfies_prefix(self):
+        case = write_skew()
+        x = find_execution(case.history, "PC", init_tid=case.init_tid)
+        assert x is not None
+        from repro.core.axioms import PREFIX
+
+        assert PREFIX.holds(x)

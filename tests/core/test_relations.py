@@ -1,0 +1,227 @@
+"""Unit tests for the relation algebra (§2 notation)."""
+
+import pytest
+
+from repro.core.relations import Relation, union_all
+
+
+class TestConstruction:
+    def test_empty(self):
+        r = Relation.empty({"a", "b"})
+        assert len(r) == 0
+        assert r.universe == {"a", "b"}
+        assert not r
+
+    def test_universe_includes_field(self):
+        r = Relation([("a", "b")], universe={"c"})
+        assert r.universe == {"a", "b", "c"}
+
+    def test_default_universe_is_field(self):
+        r = Relation([("a", "b"), ("b", "c")])
+        assert r.universe == {"a", "b", "c"}
+
+    def test_identity(self):
+        r = Relation.identity(["a", "b"])
+        assert r.pairs == {("a", "a"), ("b", "b")}
+
+    def test_total_order(self):
+        r = Relation.total_order(["a", "b", "c"])
+        assert r.pairs == {("a", "b"), ("a", "c"), ("b", "c")}
+
+    def test_from_edges(self):
+        r = Relation.from_edges([("a", "b")])
+        assert ("a", "b") in r
+
+
+class TestAlgebra:
+    def test_union(self):
+        r = Relation([("a", "b")]) | Relation([("b", "c")])
+        assert r.pairs == {("a", "b"), ("b", "c")}
+
+    def test_union_all_empty(self):
+        assert union_all([]) == Relation()
+
+    def test_union_all(self):
+        rels = [Relation([("a", "b")]), Relation([("b", "c")])]
+        assert union_all(rels).pairs == {("a", "b"), ("b", "c")}
+
+    def test_intersection(self):
+        r1 = Relation([("a", "b"), ("b", "c")])
+        r2 = Relation([("b", "c"), ("c", "d")])
+        assert (r1 & r2).pairs == {("b", "c")}
+
+    def test_difference(self):
+        r1 = Relation([("a", "b"), ("b", "c")])
+        r2 = Relation([("b", "c")])
+        assert (r1 - r2).pairs == {("a", "b")}
+
+    def test_compose(self):
+        r1 = Relation([("a", "b"), ("x", "y")])
+        r2 = Relation([("b", "c"), ("y", "z")])
+        assert r1.compose(r2).pairs == {("a", "c"), ("x", "z")}
+
+    def test_compose_no_match(self):
+        assert not Relation([("a", "b")]).compose(Relation([("c", "d")]))
+
+    def test_inverse(self):
+        assert Relation([("a", "b")]).inverse().pairs == {("b", "a")}
+
+    def test_reflexive_uses_universe(self):
+        r = Relation([("a", "b")], universe={"a", "b", "c"}).reflexive()
+        assert ("c", "c") in r
+        assert ("a", "b") in r
+
+    def test_irreflexive_part(self):
+        r = Relation([("a", "a"), ("a", "b")]).irreflexive_part()
+        assert r.pairs == {("a", "b")}
+
+    def test_restrict(self):
+        r = Relation([("a", "b"), ("b", "c")]).restrict({"a", "b"})
+        assert r.pairs == {("a", "b")}
+
+    def test_filter(self):
+        r = Relation([("a", "b"), ("b", "a")]).filter(lambda a, b: a < b)
+        assert r.pairs == {("a", "b")}
+
+    def test_map(self):
+        r = Relation([("a", "b")]).map(str.upper)
+        assert r.pairs == {("A", "B")}
+
+
+class TestClosures:
+    def test_transitive_closure_chain(self):
+        r = Relation([("a", "b"), ("b", "c"), ("c", "d")])
+        closed = r.transitive_closure()
+        assert ("a", "d") in closed
+        assert ("a", "c") in closed
+        assert ("d", "a") not in closed
+
+    def test_transitive_closure_cycle_has_self_loops(self):
+        r = Relation([("a", "b"), ("b", "a")]).transitive_closure()
+        assert ("a", "a") in r
+        assert ("b", "b") in r
+
+    def test_reflexive_transitive_closure(self):
+        r = Relation([("a", "b")], universe={"a", "b", "c"})
+        star = r.reflexive_transitive_closure()
+        assert ("c", "c") in star
+        assert ("a", "b") in star
+
+    def test_is_transitive(self):
+        assert Relation([("a", "b"), ("b", "c"), ("a", "c")]).is_transitive()
+        assert not Relation([("a", "b"), ("b", "c")]).is_transitive()
+
+
+class TestPredicates:
+    def test_irreflexive(self):
+        assert Relation([("a", "b")]).is_irreflexive()
+        assert not Relation([("a", "a")]).is_irreflexive()
+
+    def test_acyclic_simple(self):
+        assert Relation([("a", "b"), ("b", "c")]).is_acyclic()
+        assert not Relation([("a", "b"), ("b", "a")]).is_acyclic()
+
+    def test_self_loop_is_cycle(self):
+        assert not Relation([("a", "a")]).is_acyclic()
+
+    def test_acyclic_diamond(self):
+        r = Relation([("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+        assert r.is_acyclic()
+
+    def test_strict_partial_order(self):
+        assert Relation.total_order(["a", "b", "c"]).is_strict_partial_order()
+        assert not Relation([("a", "b"), ("b", "c")]).is_strict_partial_order()
+
+    def test_total_on(self):
+        r = Relation.total_order(["a", "b", "c"])
+        assert r.is_total_on({"a", "b", "c"})
+        assert r.is_total_on({"a", "c"})
+        r2 = Relation([("a", "b")], universe={"a", "b", "c"})
+        assert not r2.is_total_on()
+
+    def test_strict_total_order(self):
+        assert Relation.total_order(["a", "b"]).is_strict_total_order()
+        assert not Relation([("a", "b"), ("b", "a")]).is_strict_total_order()
+
+    def test_unrelated_pairs(self):
+        r = Relation([("a", "b")], universe={"a", "b", "c"})
+        unrelated = set(r.unrelated_pairs())
+        assert ("a", "b") not in unrelated and ("b", "a") not in unrelated
+        # a-c and b-c remain unrelated (order within pair is canonical).
+        assert len(unrelated) == 2
+
+    def test_find_cycle_returns_closed_path(self):
+        r = Relation([("a", "b"), ("b", "c"), ("c", "a")])
+        cycle = r.find_cycle()
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        for u, v in zip(cycle, cycle[1:]):
+            assert (u, v) in r
+
+    def test_find_cycle_none_when_acyclic(self):
+        assert Relation([("a", "b")]).find_cycle() is None
+
+
+class TestExtrema:
+    def test_max_element(self):
+        r = Relation.total_order(["a", "b", "c"])
+        assert r.max_element({"a", "b", "c"}) == "c"
+        assert r.max_element({"a", "b"}) == "b"
+
+    def test_min_element(self):
+        r = Relation.total_order(["a", "b", "c"])
+        assert r.min_element({"a", "b", "c"}) == "a"
+
+    def test_max_of_empty_raises(self):
+        with pytest.raises(ValueError):
+            Relation().max_element(set())
+
+    def test_max_undefined_when_not_total(self):
+        r = Relation([("a", "c"), ("b", "c")])
+        assert r.max_element({"a", "b", "c"}) == "c"
+        with pytest.raises(ValueError):
+            r.max_element({"a", "b"})
+
+    def test_singleton_max(self):
+        assert Relation().max_element({"a"}) == "a"
+
+
+class TestLinearisation:
+    def test_topological_order_respects_relation(self):
+        r = Relation([("a", "b"), ("b", "c")], universe={"a", "b", "c", "d"})
+        order = r.topological_order()
+        assert set(order) == {"a", "b", "c", "d"}
+        assert order.index("a") < order.index("b") < order.index("c")
+
+    def test_topological_order_cyclic_raises(self):
+        with pytest.raises(ValueError):
+            Relation([("a", "b"), ("b", "a")]).topological_order()
+
+    def test_topological_order_deterministic(self):
+        r = Relation([("a", "b")], universe={"a", "b", "c"})
+        assert r.topological_order() == r.topological_order()
+
+    def test_totalise(self):
+        r = Relation([("b", "a")], universe={"a", "b", "c"})
+        total = r.totalise()
+        assert total.is_strict_total_order()
+        assert ("b", "a") in total
+
+
+class TestAdjacency:
+    def test_successors_predecessors(self):
+        r = Relation([("a", "b"), ("a", "c"), ("b", "c")])
+        assert r.successors("a") == {"b", "c"}
+        assert r.predecessors("c") == {"a", "b"}
+        assert r.successors("c") == frozenset()
+
+    def test_container_protocol(self):
+        r = Relation([("a", "b")])
+        assert ("a", "b") in r
+        assert ("b", "a") not in r
+        assert set(iter(r)) == {("a", "b")}
+        assert len(r) == 1
+
+    def test_equality_and_hash(self):
+        assert Relation([("a", "b")]) == Relation([("a", "b")], universe={"z"})
+        assert hash(Relation([("a", "b")])) == hash(Relation([("a", "b")]))

@@ -1,0 +1,109 @@
+"""Property-based tests of the relation algebra (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.relations import Relation
+
+elements = st.integers(min_value=0, max_value=7)
+pairs = st.tuples(elements, elements)
+relations = st.frozensets(pairs, max_size=20).map(Relation)
+
+
+@given(relations)
+def test_transitive_closure_is_transitive(r):
+    assert r.transitive_closure().is_transitive()
+
+
+@given(relations)
+def test_transitive_closure_contains_relation(r):
+    assert r.pairs <= r.transitive_closure().pairs
+
+
+@given(relations)
+def test_transitive_closure_idempotent(r):
+    once = r.transitive_closure()
+    assert once.transitive_closure() == once
+
+
+@given(relations)
+def test_closure_is_least_transitive_superset(r):
+    closed = r.transitive_closure()
+    # Any transitive relation containing r contains the closure: check
+    # against the closure itself plus a random-ish transitive superset.
+    superset = (closed | Relation.identity(closed.universe)).transitive_closure()
+    assert closed.pairs <= superset.pairs
+
+
+@given(relations, relations)
+def test_compose_distributes_over_union_left(r1, r2):
+    r3 = Relation([(0, 1), (1, 2)])
+    lhs = (r1 | r2).compose(r3)
+    rhs = r1.compose(r3) | r2.compose(r3)
+    assert lhs == rhs
+
+
+@given(relations, relations, relations)
+def test_compose_associative(r1, r2, r3):
+    assert r1.compose(r2).compose(r3) == r1.compose(r2.compose(r3))
+
+
+@given(relations)
+def test_inverse_involution(r):
+    assert r.inverse().inverse() == r
+
+
+@given(relations, relations)
+def test_inverse_antidistributes_over_compose(r1, r2):
+    assert r1.compose(r2).inverse() == r2.inverse().compose(r1.inverse())
+
+
+@given(relations)
+def test_acyclic_iff_closure_irreflexive(r):
+    assert r.is_acyclic() == r.transitive_closure().is_irreflexive()
+
+
+@given(relations)
+def test_topological_order_linearises_acyclic(r):
+    if not r.is_acyclic():
+        return
+    order = r.topological_order()
+    position = {x: i for i, x in enumerate(order)}
+    for a, b in r:
+        assert position[a] < position[b]
+
+
+@given(relations)
+def test_totalise_extends_acyclic_to_total(r):
+    if not r.is_acyclic():
+        return
+    total = r.totalise()
+    assert r.pairs <= total.pairs
+    assert total.is_strict_total_order()
+
+
+@given(relations)
+def test_restrict_is_subrelation(r):
+    sub = r.restrict({0, 1, 2})
+    assert sub.pairs <= r.pairs
+    for a, b in sub:
+        assert a in {0, 1, 2} and b in {0, 1, 2}
+
+
+@given(relations)
+def test_reflexive_contains_identity(r):
+    refl = r.reflexive()
+    for x in r.universe:
+        assert (x, x) in refl
+
+
+@given(st.lists(elements, unique=True, min_size=1, max_size=6))
+def test_total_order_roundtrip(seq):
+    r = Relation.total_order(seq)
+    assert r.is_strict_total_order(set(seq))
+    assert r.topological_order() == list(seq) or set(
+        r.topological_order()
+    ) == set(seq)
+    # max/min match sequence ends
+    assert r.max_element(set(seq)) == seq[-1]
+    assert r.min_element(set(seq)) == seq[0]

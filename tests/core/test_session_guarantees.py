@@ -1,0 +1,84 @@
+"""The four classic session guarantees, derived from the axioms.
+
+The paper's models are the *strong session* variants [12, 13] of SI and
+serializability; sessions are the paper's nod to Terry et al.'s session
+guarantees [32].  These tests verify that the axioms do deliver the four
+classic guarantees on sampled executions — SI via SESSION + PREFIX +
+VIS ⊆ CO, PSI via SESSION + TRANSVIS:
+
+* monotonic reads: later transactions of a session see at least as much;
+* read-your-writes: a session's earlier writes are in later snapshots;
+* monotonic writes: a session's writes are WW-ordered in session order;
+* writes-follow-reads: what a transaction saw is visible wherever its
+  session's later writes are visible.
+"""
+
+import pytest
+
+from repro.graphs.extraction import graph_of
+from repro.mvcc.psi import PSIEngine
+from repro.mvcc.runtime import Scheduler
+from repro.mvcc.workloads import random_workload
+from repro.search.random_executions import random_si_execution
+
+
+def sample_executions():
+    """SI executions with stale snapshots plus PSI engine runs."""
+    out = []
+    for seed in range(8):
+        out.append(("si", random_si_execution(seed, staleness=0.8)))
+    for seed in range(4):
+        wl = random_workload(
+            seed, sessions=3, transactions_per_session=3, objects=3
+        )
+        engine = PSIEngine(wl.initial)
+        Scheduler(engine, wl.sessions).run_random(seed)
+        out.append(("psi", engine.abstract_execution()))
+    return out
+
+
+EXECUTIONS = sample_executions()
+IDS = [f"{kind}{i}" for i, (kind, _) in enumerate(EXECUTIONS)]
+
+
+@pytest.mark.parametrize("kind,x", EXECUTIONS, ids=IDS)
+def test_monotonic_reads(kind, x):
+    """T SO T' implies VIS⁻¹(T) ⊆ VIS⁻¹(T')."""
+    for a, b in x.session_order:
+        assert x.vis.predecessors(a) <= x.vis.predecessors(b), (
+            f"{b.tid} sees less than its session predecessor {a.tid}"
+        )
+
+
+@pytest.mark.parametrize("kind,x", EXECUTIONS, ids=IDS)
+def test_read_your_writes(kind, x):
+    """A session's earlier transactions are visible to later ones, so
+    their writes are in scope for EXT."""
+    for a, b in x.session_order:
+        assert (a, b) in x.vis
+
+
+@pytest.mark.parametrize("kind,x", EXECUTIONS, ids=IDS)
+def test_monotonic_writes(kind, x):
+    """Writes of one session to one object are WW-ordered in session
+    order."""
+    g = graph_of(x)
+    for a, b in x.session_order:
+        for obj in a.written_objects & b.written_objects:
+            assert (a, b) in g.ww_on(obj), (
+                f"{a.tid}'s write to {obj} not WW-before {b.tid}'s"
+            )
+
+
+@pytest.mark.parametrize("kind,x", EXECUTIONS, ids=IDS)
+def test_writes_follow_reads(kind, x):
+    """If T read from W (so W VIS T) and T SO T' VIS S, then W VIS S:
+    anyone who sees the session's later activity sees what it read."""
+    vis = x.vis
+    for w, t in x.vis:
+        for t2 in x.session_order.successors(t):
+            for s in vis.successors(t2):
+                assert (w, s) in vis, (
+                    f"{s.tid} sees {t2.tid} but not {w.tid}, which "
+                    f"{t.tid} (same session, earlier) saw"
+                )

@@ -1,0 +1,186 @@
+"""Unit tests for the graph-class characterisations (Thms 8, 9, 21)."""
+
+import pytest
+
+from repro.anomalies import (
+    fig4_g1,
+    fig4_g2,
+    fig11_h6,
+    fig12_g7,
+    write_skew,
+)
+from repro.core.events import read, write
+from repro.core.histories import singleton_sessions
+from repro.core.transactions import initialisation_transaction, transaction
+from repro.graphs.classify import (
+    classify,
+    in_graph_psi,
+    in_graph_psi_by_cycles,
+    in_graph_ser,
+    in_graph_ser_by_cycles,
+    in_graph_si,
+    in_graph_si_by_cycles,
+    psi_violation_witness,
+    ser_violation_witness,
+    si_violation_witness,
+    to_labeled_digraph,
+)
+from repro.graphs.dependency import dependency_graph
+from repro.graphs.extraction import graph_of
+
+
+def write_skew_graph():
+    """The Figure 2(d) dependency graph, built from its execution."""
+    return graph_of(write_skew().execution)
+
+
+def lost_update_graph():
+    """The Figure 2(b) dependency graph (built directly: the history is
+    not realisable under SI, but the graph is still well-formed)."""
+    init = initialisation_transaction(["acct"])
+    t1 = transaction("t1", read("acct", 0), write("acct", 50))
+    t2 = transaction("t2", read("acct", 0), write("acct", 25))
+    h = singleton_sessions(init, t1, t2)
+    return dependency_graph(
+        h,
+        wr={"acct": [(init, t1), (init, t2)]},
+        ww={"acct": [(init, t1), (t1, t2)]},
+    )
+
+
+def long_fork_graph():
+    """The Figure 2(c) dependency graph with its bold edges."""
+    init = initialisation_transaction(["x", "y"])
+    t1 = transaction("t1", write("x", 1))
+    t2 = transaction("t2", write("y", 1))
+    t3 = transaction("t3", read("x", 1), read("y", 0))
+    t4 = transaction("t4", read("x", 0), read("y", 1))
+    h = singleton_sessions(init, t1, t2, t3, t4)
+    return dependency_graph(
+        h,
+        wr={
+            "x": [(t1, t3), (init, t4)],
+            "y": [(t2, t4), (init, t3)],
+        },
+        ww={"x": [(init, t1)], "y": [(init, t2)]},
+    )
+
+
+class TestWriteSkew:
+    def test_in_si_not_ser(self):
+        g = write_skew_graph()
+        assert in_graph_si(g)
+        assert in_graph_psi(g)
+        assert not in_graph_ser(g)
+
+    def test_classify_dict(self):
+        assert classify(write_skew_graph()) == {
+            "SER": False,
+            "SI": True,
+            "PSI": True,
+        }
+
+    def test_ser_witness_is_rw_rw_cycle(self):
+        witness = ser_violation_witness(write_skew_graph())
+        assert witness is not None
+
+
+class TestLostUpdate:
+    def test_excluded_from_all(self):
+        g = lost_update_graph()
+        assert classify(g) == {"SER": False, "SI": False, "PSI": False}
+
+    def test_si_witness_has_single_rw(self):
+        witness = si_violation_witness(lost_update_graph())
+        assert witness is not None
+        # The paper's cycle: t1 --WW--> t2 --RW--> t1.
+        from repro.graphs.cycles import EdgeKind
+
+        assert witness.count(EdgeKind.RW) <= 1
+
+
+class TestLongFork:
+    def test_in_psi_not_si(self):
+        g = long_fork_graph()
+        assert in_graph_psi(g)
+        assert not in_graph_si(g)
+        assert not in_graph_ser(g)
+
+    def test_si_witness_has_nonadjacent_rws(self):
+        witness = si_violation_witness(long_fork_graph())
+        assert witness is not None
+        from repro.graphs.cycles import EdgeKind, is_antidependency
+
+        assert witness.count(EdgeKind.RW) >= 2
+        assert not witness.has_adjacent_pair(is_antidependency)
+
+    def test_psi_witness_none(self):
+        assert psi_violation_witness(long_fork_graph()) is None
+
+
+class TestAcyclicGraphs:
+    def test_fig4_graphs_are_acyclic_hence_everywhere(self):
+        for case in (fig4_g1(), fig4_g2(), fig11_h6(), fig12_g7()):
+            g = case.graph
+            assert in_graph_ser(g), case.name
+            assert in_graph_si(g), case.name
+            assert in_graph_psi(g), case.name
+
+
+class TestInclusions:
+    def test_ser_subset_si_subset_psi(self):
+        graphs = [
+            write_skew_graph(),
+            lost_update_graph(),
+            long_fork_graph(),
+            fig4_g1().graph,
+            fig12_g7().graph,
+        ]
+        for g in graphs:
+            if in_graph_ser(g):
+                assert in_graph_si(g)
+            if in_graph_si(g):
+                assert in_graph_psi(g)
+
+    def test_int_required_everywhere(self):
+        init = initialisation_transaction(["x"])
+        bad = transaction("bad", write("x", 1), read("x", 99))
+        h = singleton_sessions(init, bad)
+        g = dependency_graph(h, wr={}, ww={"x": [(init, bad)]})
+        assert not in_graph_ser(g)
+        assert not in_graph_si(g)
+        assert not in_graph_psi(g)
+
+
+class TestCycleBasedEquivalence:
+    """The compositional and cycle-scan characterisations must agree."""
+
+    @pytest.fixture(params=["write_skew", "lost_update", "long_fork", "g1", "g7"])
+    def graph(self, request):
+        return {
+            "write_skew": write_skew_graph,
+            "lost_update": lost_update_graph,
+            "long_fork": long_fork_graph,
+            "g1": lambda: fig4_g1().graph,
+            "g7": lambda: fig12_g7().graph,
+        }[request.param]()
+
+    def test_si_agreement(self, graph):
+        assert in_graph_si(graph) == in_graph_si_by_cycles(graph)
+
+    def test_ser_agreement(self, graph):
+        assert in_graph_ser(graph) == in_graph_ser_by_cycles(graph)
+
+    def test_psi_agreement(self, graph):
+        assert in_graph_psi(graph) == in_graph_psi_by_cycles(graph)
+
+
+class TestLabeledExport:
+    def test_to_labeled_digraph_edge_kinds(self):
+        g = write_skew_graph()
+        labeled = to_labeled_digraph(g)
+        from repro.graphs.cycles import EdgeKind
+
+        kinds = {e.kind for e in labeled.edges}
+        assert EdgeKind.RW in kinds
+        assert EdgeKind.WR in kinds or EdgeKind.WW in kinds

@@ -1,0 +1,211 @@
+"""Unit tests for the labelled-cycle machinery."""
+
+import pytest
+
+from repro.graphs.cycles import (
+    Cycle,
+    EdgeKind,
+    LabeledDigraph,
+    LabeledEdge,
+    is_antidependency,
+    is_conflict,
+    is_dependency,
+    is_predecessor,
+)
+
+
+def edge(src, dst, kind, obj=None):
+    return LabeledEdge(src, dst, kind, obj)
+
+
+def cycle(*edges):
+    return Cycle(tuple(edges))
+
+
+class TestCycleStructure:
+    def test_edges_must_connect(self):
+        with pytest.raises(ValueError):
+            cycle(edge("a", "b", EdgeKind.WR), edge("c", "a", EdgeKind.WW))
+
+    def test_must_close(self):
+        with pytest.raises(ValueError):
+            cycle(edge("a", "b", EdgeKind.WR), edge("b", "c", EdgeKind.WW))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Cycle(())
+
+    def test_self_loop_allowed(self):
+        c = cycle(edge("a", "a", EdgeKind.SO))
+        assert len(c) == 1
+        assert c.nodes == ("a",)
+
+    def test_kinds_and_count(self):
+        c = cycle(
+            edge("a", "b", EdgeKind.RW),
+            edge("b", "c", EdgeKind.WR),
+            edge("c", "a", EdgeKind.RW),
+        )
+        assert c.kinds == (EdgeKind.RW, EdgeKind.WR, EdgeKind.RW)
+        assert c.count(EdgeKind.RW) == 2
+
+    def test_is_simple(self):
+        simple = cycle(edge("a", "b", EdgeKind.WR), edge("b", "a", EdgeKind.RW))
+        assert simple.is_simple()
+
+
+class TestPatternPredicates:
+    def test_adjacent_pair_wraps_around(self):
+        c = cycle(
+            edge("a", "b", EdgeKind.RW),
+            edge("b", "c", EdgeKind.WR),
+            edge("c", "a", EdgeKind.RW),
+        )
+        # RW at positions 0 and 2 are cyclically adjacent (2 -> 0).
+        assert c.has_adjacent_pair(is_antidependency)
+
+    def test_adjacent_pair_absent(self):
+        c = cycle(
+            edge("a", "b", EdgeKind.RW),
+            edge("b", "c", EdgeKind.WR),
+            edge("c", "d", EdgeKind.RW),
+            edge("d", "a", EdgeKind.WW),
+        )
+        assert not c.has_adjacent_pair(is_antidependency)
+
+    def test_single_edge_cycle_adjacent_to_itself(self):
+        c = cycle(edge("a", "a", EdgeKind.RW))
+        assert c.has_adjacent_pair(is_antidependency)
+
+    def test_has_fragment_rotation_invariant(self):
+        base = [
+            edge("a", "b", EdgeKind.WR),
+            edge("b", "c", EdgeKind.PREDECESSOR),
+            edge("c", "d", EdgeKind.RW),
+            edge("d", "a", EdgeKind.SUCCESSOR),
+        ]
+        pattern = (is_conflict, is_predecessor, is_conflict)
+        c = cycle(*base)
+        assert c.has_fragment(pattern)
+        for rotation in c.rotations():
+            assert rotation.has_fragment(pattern)
+
+    def test_has_fragment_absent(self):
+        c = cycle(
+            edge("a", "b", EdgeKind.WR),
+            edge("b", "c", EdgeKind.SUCCESSOR),
+            edge("c", "a", EdgeKind.RW),
+        )
+        assert not c.has_fragment((is_conflict, is_predecessor, is_conflict))
+
+    def test_fragment_longer_than_cycle_wraps(self):
+        c = cycle(
+            edge("a", "b", EdgeKind.WR),
+            edge("b", "a", EdgeKind.PREDECESSOR),
+        )
+        # Pattern of length 3 on a 2-cycle: positions wrap, reusing edges.
+        assert c.has_fragment((is_conflict, is_predecessor, is_conflict))
+
+    def test_project_preserves_order(self):
+        c = cycle(
+            edge("a", "b", EdgeKind.WR),
+            edge("b", "c", EdgeKind.SUCCESSOR),
+            edge("c", "a", EdgeKind.RW),
+        )
+        conflicts = c.project(lambda e: is_conflict(e.kind))
+        assert [e.kind for e in conflicts] == [EdgeKind.WR, EdgeKind.RW]
+
+    def test_kind_helpers(self):
+        assert is_conflict(EdgeKind.WR)
+        assert is_conflict(EdgeKind.RW)
+        assert not is_conflict(EdgeKind.SUCCESSOR)
+        assert is_dependency(EdgeKind.WW)
+        assert not is_dependency(EdgeKind.RW)
+        assert is_predecessor(EdgeKind.PREDECESSOR)
+
+
+class TestLabeledDigraph:
+    def test_add_and_query(self):
+        g = LabeledDigraph()
+        e = edge("a", "b", EdgeKind.WR, "x")
+        g.add_edge(e)
+        g.add_edge(e)  # idempotent
+        assert len(g) == 1
+        assert g.edges_between("a", "b") == [e]
+        assert g.nodes == {"a", "b"}
+
+    def test_parallel_edges_kept_separately(self):
+        g = LabeledDigraph(
+            [
+                edge("a", "b", EdgeKind.WR, "x"),
+                edge("a", "b", EdgeKind.RW, "x"),
+            ]
+        )
+        assert len(g.edges_between("a", "b")) == 2
+
+    def test_simple_cycles_basic(self):
+        g = LabeledDigraph(
+            [edge("a", "b", EdgeKind.WR), edge("b", "a", EdgeKind.RW)]
+        )
+        cycles = list(g.simple_cycles())
+        assert len(cycles) == 1
+        assert cycles[0].count(EdgeKind.WR) == 1
+
+    def test_simple_cycles_expand_parallel_labels(self):
+        g = LabeledDigraph(
+            [
+                edge("a", "b", EdgeKind.WR),
+                edge("a", "b", EdgeKind.WW),
+                edge("b", "a", EdgeKind.RW),
+            ]
+        )
+        cycles = list(g.simple_cycles())
+        assert len(cycles) == 2
+        kinds = {c.kinds for c in cycles}
+        assert (EdgeKind.WR, EdgeKind.RW) in kinds or (
+            EdgeKind.RW,
+            EdgeKind.WR,
+        ) in kinds
+
+    def test_no_cycles_in_dag(self):
+        g = LabeledDigraph(
+            [edge("a", "b", EdgeKind.WR), edge("b", "c", EdgeKind.WR)]
+        )
+        assert list(g.simple_cycles()) == []
+
+    def test_self_loop_cycle(self):
+        g = LabeledDigraph([edge("a", "a", EdgeKind.SO)])
+        cycles = list(g.simple_cycles())
+        assert len(cycles) == 1
+        assert len(cycles[0]) == 1
+
+    def test_find_cycle_early_exit(self):
+        g = LabeledDigraph(
+            [edge("a", "b", EdgeKind.WR), edge("b", "a", EdgeKind.RW)]
+        )
+        found = g.find_cycle(lambda c: c.count(EdgeKind.RW) == 1)
+        assert found is not None
+        assert g.find_cycle(lambda c: c.count(EdgeKind.RW) == 5) is None
+
+    def test_all_cycles_satisfy(self):
+        g = LabeledDigraph(
+            [edge("a", "b", EdgeKind.WR), edge("b", "a", EdgeKind.RW)]
+        )
+        assert g.all_cycles_satisfy(lambda c: len(c) == 2)
+        assert not g.all_cycles_satisfy(lambda c: len(c) == 3)
+
+    def test_length_bound_prunes(self):
+        g = LabeledDigraph(
+            [
+                edge("a", "b", EdgeKind.WR),
+                edge("b", "c", EdgeKind.WR),
+                edge("c", "a", EdgeKind.WR),
+            ]
+        )
+        assert list(g.simple_cycles(length_bound=2)) == []
+        assert len(list(g.simple_cycles(length_bound=3))) == 1
+
+    def test_to_networkx(self):
+        g = LabeledDigraph([edge("a", "b", EdgeKind.WR)])
+        nxg = g.to_networkx()
+        assert nxg.number_of_edges() == 1

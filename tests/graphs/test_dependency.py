@@ -1,0 +1,150 @@
+"""Unit tests for dependency graphs (Definition 6) and RW derivation."""
+
+import pytest
+
+from repro.core.errors import MalformedDependencyGraphError
+from repro.core.events import read, write
+from repro.core.histories import singleton_sessions, history
+from repro.core.relations import Relation
+from repro.core.transactions import initialisation_transaction, transaction
+from repro.graphs.dependency import DependencyGraph, dependency_graph, derive_rw
+
+
+@pytest.fixture
+def base():
+    init = initialisation_transaction(["x"])
+    w = transaction("w", write("x", 1))
+    r = transaction("r", read("x", 1))
+    h = singleton_sessions(init, w, r)
+    return init, w, r, h
+
+
+class TestValidation:
+    def test_valid_graph(self, base):
+        init, w, r, h = base
+        g = dependency_graph(
+            h, wr={"x": [(w, r)]}, ww={"x": [(init, w)]}
+        )
+        assert isinstance(g, DependencyGraph)
+
+    def test_wr_value_mismatch_rejected(self, base):
+        init, w, r, h = base
+        with pytest.raises(MalformedDependencyGraphError):
+            dependency_graph(h, wr={"x": [(init, r)]}, ww={"x": [(init, w)]})
+
+    def test_read_without_source_rejected(self, base):
+        init, w, r, h = base
+        with pytest.raises(MalformedDependencyGraphError):
+            dependency_graph(h, wr={}, ww={"x": [(init, w)]})
+
+    def test_multiple_wr_sources_rejected(self):
+        init = initialisation_transaction(["x"], value=1)
+        w = transaction("w", write("x", 1))
+        r = transaction("r", read("x", 1))
+        h = singleton_sessions(init, w, r)
+        with pytest.raises(MalformedDependencyGraphError):
+            dependency_graph(
+                h,
+                wr={"x": [(w, r), (init, r)]},
+                ww={"x": [(init, w)]},
+            )
+
+    def test_wr_self_edge_rejected(self):
+        init = initialisation_transaction(["x"])
+        t = transaction("t", read("x", 0), write("x", 0))
+        h = singleton_sessions(init, t)
+        with pytest.raises(MalformedDependencyGraphError):
+            dependency_graph(h, wr={"x": [(t, t)]}, ww={"x": [(init, t)]})
+
+    def test_ww_must_be_total_over_writers(self, base):
+        init, w, r, h = base
+        w2 = transaction("w2", write("x", 2))
+        h2 = singleton_sessions(init, w, w2, r)
+        with pytest.raises(MalformedDependencyGraphError):
+            dependency_graph(
+                h2, wr={"x": [(w, r)]}, ww={"x": [(init, w)]}
+            )
+
+    def test_ww_non_writer_rejected(self, base):
+        init, w, r, h = base
+        with pytest.raises(MalformedDependencyGraphError):
+            dependency_graph(
+                h, wr={"x": [(w, r)]}, ww={"x": [(init, w), (w, r)]}
+            )
+
+    def test_validate_false_skips(self, base):
+        init, w, r, h = base
+        g = DependencyGraph(h, wr={}, ww={}, validate=False)
+        assert g.well_formedness_violations()
+
+
+class TestDerivedRW:
+    def test_rw_from_definition_5(self):
+        # r reads init's x; w overwrites init's x => r --RW(x)--> w.
+        init = initialisation_transaction(["x"])
+        w = transaction("w", write("x", 1))
+        r = transaction("r", read("x", 0))
+        h = singleton_sessions(init, w, r)
+        g = dependency_graph(h, wr={"x": [(init, r)]}, ww={"x": [(init, w)]})
+        assert (r, w) in g.rw_on("x")
+
+    def test_rw_excludes_self(self):
+        # t reads init's x and overwrites it: no RW self-edge.
+        init = initialisation_transaction(["x"])
+        t = transaction("t", read("x", 0), write("x", 1))
+        h = singleton_sessions(init, t)
+        g = dependency_graph(h, wr={"x": [(init, t)]}, ww={"x": [(init, t)]})
+        assert not g.rw_on("x")
+
+    def test_rw_per_object_isolated(self):
+        init = initialisation_transaction(["x", "y"])
+        wx = transaction("wx", write("x", 1))
+        ry = transaction("ry", read("y", 0))
+        h = singleton_sessions(init, wx, ry)
+        g = dependency_graph(
+            h, wr={"y": [(init, ry)]}, ww={"x": [(init, wx)]}
+        )
+        assert not g.rw_on("x")
+        assert not g.rw_on("y")
+
+    def test_derive_rw_helper_matches_property(self):
+        init = initialisation_transaction(["x"])
+        w = transaction("w", write("x", 1))
+        r = transaction("r", read("x", 0))
+        h = singleton_sessions(init, w, r)
+        g = dependency_graph(h, wr={"x": [(init, r)]}, ww={"x": [(init, w)]})
+        assert derive_rw(h, g.wr, g.ww) == g.rw
+
+
+class TestUnions:
+    def test_union_views(self, base):
+        init, w, r, h = base
+        g = dependency_graph(h, wr={"x": [(w, r)]}, ww={"x": [(init, w)]})
+        assert (w, r) in g.wr_union
+        assert (init, w) in g.ww_union
+        assert g.dependencies.pairs == g.session_order.union(
+            g.wr_union, g.ww_union
+        ).pairs
+        assert g.all_edges.pairs == g.dependencies.union(g.rw_union).pairs
+
+    def test_session_order_included(self):
+        init = initialisation_transaction(["x"])
+        a = transaction("a", write("x", 1))
+        b = transaction("b", read("x", 1))
+        h = history([init], [a, b])
+        g = dependency_graph(h, wr={"x": [(a, b)]}, ww={"x": [(init, a)]})
+        assert (a, b) in g.dependencies
+
+    def test_ww_transitive_closure_by_default(self):
+        init = initialisation_transaction(["x"])
+        a = transaction("a", write("x", 1))
+        b = transaction("b", write("x", 2))
+        h = singleton_sessions(init, a, b)
+        g = dependency_graph(h, wr={}, ww={"x": [(init, a), (a, b)]})
+        assert (init, b) in g.ww_on("x")
+
+    def test_describe_lists_edges(self, base):
+        init, w, r, h = base
+        g = dependency_graph(h, wr={"x": [(w, r)]}, ww={"x": [(init, w)]})
+        text = g.describe()
+        assert "WR" in text and "w-(x)->r" in text

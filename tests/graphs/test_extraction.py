@@ -1,0 +1,100 @@
+"""Unit tests for graph extraction (Definition 5, Propositions 7 and 14)."""
+
+import pytest
+
+from repro.anomalies import (
+    fig13_execution,
+    session_guarantees,
+    write_skew,
+)
+from repro.core.events import read, write
+from repro.core.executions import execution
+from repro.core.histories import singleton_sessions
+from repro.core.models import SI
+from repro.core.transactions import initialisation_transaction, transaction
+from repro.graphs.extraction import (
+    antidependencies_via_visibility,
+    extract_wr,
+    extract_ww,
+    graph_of,
+)
+
+
+def chain_execution():
+    """init -> w1 -> w2 with a reader of w1's value in between."""
+    init = initialisation_transaction(["x"])
+    w1 = transaction("w1", write("x", 1))
+    r = transaction("r", read("x", 1))
+    w2 = transaction("w2", write("x", 2))
+    h = singleton_sessions(init, w1, r, w2)
+    x = execution(
+        h,
+        vis=[(init, w1), (init, r), (init, w2), (w1, r), (w1, w2)],
+        co=[(init, w1), (w1, r), (r, w2)],
+    )
+    return init, w1, r, w2, x
+
+
+class TestExtractWR:
+    def test_reader_attributed_to_co_latest_visible_writer(self):
+        init, w1, r, w2, x = chain_execution()
+        wr = extract_wr(x)
+        assert (w1, r) in wr["x"]
+        assert (init, r) not in wr["x"]
+
+    def test_no_read_no_entry(self):
+        init = initialisation_transaction(["x"])
+        w = transaction("w", write("x", 1))
+        h = singleton_sessions(init, w)
+        x = execution(h, vis=[(init, w)], co=[(init, w)])
+        assert extract_wr(x) == {}
+
+
+class TestExtractWW:
+    def test_ww_is_co_restricted_to_writers(self):
+        init, w1, r, w2, x = chain_execution()
+        ww = extract_ww(x)
+        assert (init, w1) in ww["x"]
+        assert (w1, w2) in ww["x"]
+        assert (init, w2) in ww["x"]
+        assert all(t.writes("x") for pair in ww["x"] for t in pair)
+
+    def test_single_writer_objects_omitted(self):
+        init = initialisation_transaction(["x"])
+        r = transaction("r", read("x", 0))
+        h = singleton_sessions(init, r)
+        x = execution(h, vis=[(init, r)], co=[(init, r)])
+        assert extract_ww(x) == {}
+
+
+class TestProposition7:
+    def test_extraction_yields_wellformed_graph(self):
+        # Proposition 7: graph(X) is a dependency graph for X in ExecSI.
+        for case in (session_guarantees(), write_skew(), fig13_execution()):
+            x = case.execution
+            assert SI.satisfied_by(x)
+            g = graph_of(x, validate=True)  # raises if malformed
+            assert g.history is x.history
+
+    def test_extraction_on_chain(self):
+        *_, x = chain_execution()
+        g = graph_of(x)
+        assert g.well_formedness_violations() == []
+
+
+class TestProposition14:
+    def test_rw_matches_visibility_characterisation(self):
+        # For X in ExecSI, RW(x) == the Prop 14 characterisation.
+        for case in (session_guarantees(), write_skew(), fig13_execution()):
+            x = case.execution
+            g = graph_of(x)
+            assert g.rw_union.pairs == antidependencies_via_visibility(x).pairs
+
+    def test_write_skew_antidependencies(self):
+        case = write_skew()
+        x = case.execution
+        g = graph_of(x)
+        t1 = x.history.by_tid("t1")
+        t2 = x.history.by_tid("t2")
+        assert (t1, t2) in g.rw_union
+        assert (t2, t1) in g.rw_union

@@ -1,0 +1,148 @@
+"""End-to-end integration tests pinning every figure-level claim of the
+paper.  These are the assertions the benchmark harness re-reports; keeping
+them as tests guards the reproduction against regressions."""
+
+import pytest
+
+from repro.anomalies import (
+    ALL_CASES,
+    fig4_g1,
+    fig4_g2,
+    fig11_h6,
+    fig12_g7,
+    fig13_execution,
+)
+from repro.characterisation.membership import classify_history
+from repro.characterisation.soundness import construct_execution
+from repro.chopping.criticality import Criterion
+from repro.chopping.dynamic import check_chopping
+from repro.chopping.programs import (
+    p1_programs,
+    p2_programs,
+    p3_programs,
+    p4_programs,
+)
+from repro.chopping.splice import naive_splice_execution_co, splice_history
+from repro.chopping.static import chopping_matrix
+from repro.core.models import SI
+from repro.graphs.extraction import graph_of
+from repro.mvcc.psi import PSIEngine
+from repro.mvcc.runtime import Scheduler
+from repro.mvcc.si import SIEngine
+from repro.mvcc.workloads import long_fork_sessions, write_skew_sessions
+from repro.robustness.dynamic import (
+    exhibits_psi_only_behaviour,
+    exhibits_si_only_behaviour,
+)
+
+
+class TestFigure2:
+    """Figure 2: the anomaly classification (experiment E1)."""
+
+    @pytest.mark.parametrize(
+        "name", ["session_guarantees", "lost_update", "long_fork", "write_skew"]
+    )
+    def test_membership_matches_paper(self, name):
+        case = ALL_CASES[name]()
+        got = classify_history(case.history, init_tid=case.init_tid)
+        assert got == case.expected
+
+    def test_write_skew_reproduced_operationally(self):
+        engine = SIEngine({"acct1": 70, "acct2": 80})
+        Scheduler(engine, write_skew_sessions()).run_schedule(
+            ["alice", "alice", "alice", "bob", "bob", "bob"]
+        )
+        balance = sum(
+            engine.store.latest(obj).value for obj in engine.store.objects
+        )
+        assert balance < 0
+
+    def test_long_fork_reproduced_operationally(self):
+        engine = PSIEngine({"x": 0, "y": 0})
+        for session in ("r1", "r2"):
+            engine.replica_of(session)
+        sched = Scheduler(engine, long_fork_sessions())
+        sched.step("w1"), sched.step("w1")
+        sched.step("w2"), sched.step("w2")
+        recs = {r.session: r.tid for r in engine.committed}
+        engine.deliver(recs["w1"], "r_r1")
+        engine.deliver(recs["w2"], "r_r2")
+        sched.run_round_robin()
+        got = classify_history(engine.history(), init_tid="t_init")
+        assert got == {"SER": False, "SI": False, "PSI": True}
+
+
+class TestFigure4:
+    """Figure 4 and the dynamic chopping criterion (experiment E5)."""
+
+    def test_g1_not_spliceable(self):
+        case = fig4_g1()
+        verdict = check_chopping(case.graph, Criterion.SI)
+        assert not verdict.passes
+        spliced = splice_history(case.history)
+        assert not classify_history(spliced, init_tid="t_init")["SI"]
+
+    def test_g2_spliceable(self):
+        case = fig4_g2()
+        verdict = check_chopping(case.graph, Criterion.SI)
+        assert verdict.passes
+        spliced = splice_history(case.history)
+        assert classify_history(spliced, init_tid="t_init")["SI"]
+
+    def test_g1_realisable_under_si(self):
+        # The chopped G1 history itself is an SI behaviour (Theorem 10(i)).
+        x = construct_execution(fig4_g1().graph)
+        assert SI.satisfied_by(x)
+
+
+class TestAppendixB:
+    """The comparison matrix and separating examples (E8, E9, E11)."""
+
+    def test_matrix_matches_paper(self):
+        assert chopping_matrix(
+            {
+                "P1": p1_programs(),
+                "P2": p2_programs(),
+                "P3": p3_programs(),
+                "P4": p4_programs(),
+            }
+        ) == {
+            "P1": {"SER": False, "SI": False, "PSI": False},
+            "P2": {"SER": True, "SI": True, "PSI": True},
+            "P3": {"SER": False, "SI": True, "PSI": True},
+            "P4": {"SER": False, "SI": False, "PSI": True},
+        }
+
+    def test_fig11_splice_is_write_skew(self):
+        spliced = splice_history(fig11_h6().history)
+        got = classify_history(spliced, init_tid="t_init")
+        assert got["SI"] and not got["SER"]
+
+    def test_fig12_splice_is_long_fork(self):
+        spliced = splice_history(fig12_g7().history)
+        got = classify_history(spliced, init_tid="t_init")
+        assert got["PSI"] and not got["SI"]
+
+    def test_fig13_naive_execution_splice_cyclic(self):
+        x = fig13_execution().execution
+        assert not naive_splice_execution_co(x).is_acyclic()
+
+
+class TestSection6:
+    """Robustness criteria on the canonical graphs (E12, E13)."""
+
+    def test_write_skew_graph_si_only(self):
+        from repro.anomalies import write_skew
+
+        g = graph_of(write_skew().execution)
+        assert exhibits_si_only_behaviour(g)
+        assert not exhibits_psi_only_behaviour(g)
+
+    def test_long_fork_graph_psi_only(self):
+        from repro.anomalies import long_fork
+        from repro.characterisation.membership import decide
+
+        case = long_fork()
+        g = decide(case.history, "PSI", init_tid=case.init_tid).witness
+        assert exhibits_psi_only_behaviour(g)
+        assert not exhibits_si_only_behaviour(g)

@@ -1,0 +1,59 @@
+"""Sampled small-scope agreement of the two membership oracles.
+
+The full exhaustive sweep (7938 histories, 0 mismatches) lives in
+``benchmarks/bench_exhaustive_agreement.py``; this keeps a fast, evenly
+sampled slice of it in the regular test suite as a regression tripwire
+for the characterisation theorems.
+"""
+
+import itertools
+
+import pytest
+
+from repro.characterisation.exec_search import (
+    classify_history_by_executions,
+)
+from repro.characterisation.membership import classify_history
+from repro.search import enumerate_tiny_histories
+
+
+def sampled(stride: int, same_session: bool):
+    return list(
+        itertools.islice(
+            enumerate_tiny_histories(same_session=same_session),
+            0,
+            None,
+            stride,
+        )
+    )
+
+
+@pytest.mark.parametrize("same_session", [False, True],
+                         ids=["separate", "one-session"])
+def test_sampled_agreement(same_session):
+    histories = sampled(stride=37, same_session=same_session)
+    assert len(histories) > 100
+    for h in histories:
+        by_graphs = classify_history(h, init_tid="t_init")
+        by_execs = classify_history_by_executions(h, init_tid="t_init")
+        assert by_graphs == by_execs, h.describe()
+
+
+def test_sample_contains_interesting_cases():
+    # The sample must exercise allowed and rejected histories alike.
+    histories = sampled(stride=37, same_session=False)
+    verdicts = [
+        classify_history(h, init_tid="t_init")["SI"] for h in histories
+    ]
+    assert any(verdicts) and not all(verdicts)
+
+
+def test_single_object_universe_agreement():
+    # The 1-object universe is small enough to sweep fully in-tests.
+    count = 0
+    for h in enumerate_tiny_histories(objects=1):
+        by_graphs = classify_history(h, init_tid="t_init")
+        by_execs = classify_history_by_executions(h, init_tid="t_init")
+        assert by_graphs == by_execs, h.describe()
+        count += 1
+    assert count == 49  # 7 non-empty patterns per transaction, squared

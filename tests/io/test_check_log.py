@@ -1,0 +1,80 @@
+"""Tests for the ``check-log`` CLI command (monitor front-end)."""
+
+import json
+
+import pytest
+
+from repro.io.cli import main
+
+
+@pytest.fixture
+def long_fork_log(tmp_path):
+    data = {
+        "init": {"x": 0, "y": 0},
+        "sessions": [
+            [{"tid": "w1", "ops": [["write", "x", 1]]}],
+            [{"tid": "w2", "ops": [["write", "y", 1]]}],
+            [{"tid": "r1", "ops": [["read", "x", 1], ["read", "y", 0]]}],
+            [{"tid": "r2", "ops": [["read", "x", 0], ["read", "y", 1]]}],
+        ],
+        "commit_order": ["w1", "w2", "r1", "r2"],
+    }
+    path = tmp_path / "lf.json"
+    path.write_text(json.dumps(data))
+    return str(path)
+
+
+class TestCheckLog:
+    def test_psi_clean(self, long_fork_log, capsys):
+        assert main(["check-log", long_fork_log, "--model", "PSI"]) == 0
+        assert "PSI-consistent" in capsys.readouterr().out
+
+    def test_si_violation_detected(self, long_fork_log, capsys):
+        assert main(["check-log", long_fork_log, "--model", "SI"]) == 1
+        out = capsys.readouterr().out
+        assert "SI violated at commit of r2" in out
+
+    def test_default_commit_order_is_document_order(self, tmp_path, capsys):
+        data = {
+            "init": {"x": 0},
+            "sessions": [
+                [{"tid": "a", "ops": [["write", "x", 1]]}],
+                [{"tid": "b", "ops": [["read", "x", 1]]}],
+            ],
+        }
+        path = tmp_path / "log.json"
+        path.write_text(json.dumps(data))
+        assert main(["check-log", str(path)]) == 0
+
+    def test_unknown_tid_in_commit_order(self, tmp_path, capsys):
+        data = {
+            "init": {"x": 0},
+            "sessions": [[{"tid": "a", "ops": [["write", "x", 1]]}]],
+            "commit_order": ["a", "ghost"],
+        }
+        path = tmp_path / "log.json"
+        path.write_text(json.dumps(data))
+        assert main(["check-log", str(path)]) == 2
+
+    def test_strict_value_attribution(self, tmp_path, capsys):
+        data = {
+            "init": {"x": 0},
+            "sessions": [[{"tid": "a", "ops": [["read", "x", 99]]}]],
+        }
+        path = tmp_path / "log.json"
+        path.write_text(json.dumps(data))
+        assert main(["check-log", str(path)]) == 2
+        assert "matches no committed write" in capsys.readouterr().err
+
+    def test_lenient_mode(self, tmp_path):
+        data = {
+            "init": {"x": 0},
+            "sessions": [
+                [{"tid": "a", "ops": [["write", "x", 7]]}],
+                [{"tid": "b", "ops": [["write", "x", 7]]}],
+                [{"tid": "c", "ops": [["read", "x", 7]]}],
+            ],
+        }
+        path = tmp_path / "log.json"
+        path.write_text(json.dumps(data))
+        assert main(["check-log", str(path), "--lenient"]) in (0, 1)

@@ -1,0 +1,169 @@
+"""Tests for the command-line front-end."""
+
+import json
+
+import pytest
+
+from repro.anomalies import ALL_CASES
+from repro.chopping.programs import p1_programs, p2_programs
+from repro.io.cli import main
+from repro.io.json_format import (
+    dump_history,
+    dump_programs,
+    history_to_json,
+)
+
+
+@pytest.fixture
+def write_skew_file(tmp_path):
+    path = tmp_path / "write_skew.json"
+    dump_history(ALL_CASES["write_skew"]().history, str(path))
+    return str(path)
+
+
+@pytest.fixture
+def long_fork_file(tmp_path):
+    path = tmp_path / "long_fork.json"
+    dump_history(ALL_CASES["long_fork"]().history, str(path))
+    return str(path)
+
+
+class TestCheckHistory:
+    def test_allowed_history_exit_zero(self, write_skew_file, capsys):
+        assert main(["check-history", write_skew_file, "--model", "SI"]) == 0
+        assert "allowed by SI" in capsys.readouterr().out
+
+    def test_disallowed_history_exit_one(self, write_skew_file, capsys):
+        assert main(["check-history", write_skew_file, "--model", "SER"]) == 1
+        assert "NOT allowed" in capsys.readouterr().out
+
+    def test_all_models(self, long_fork_file, capsys):
+        status = main(["check-history", long_fork_file, "--model", "all"])
+        out = capsys.readouterr().out
+        assert status == 1  # not in HistSI
+        assert "PSI: allowed" in out
+        assert "SI: NOT allowed" in out
+
+    def test_verbose_prints_witness(self, write_skew_file, capsys):
+        main(["check-history", write_skew_file, "--verbose"])
+        out = capsys.readouterr().out
+        assert "WR" in out
+
+    def test_missing_file_exit_two(self, capsys):
+        assert main(["check-history", "/nonexistent.json"]) == 2
+
+
+class TestCheckChopping:
+    def test_incorrect_chopping(self, tmp_path, capsys):
+        path = tmp_path / "p1.json"
+        dump_programs(p1_programs(), str(path))
+        assert main(["check-chopping", str(path)]) == 1
+        assert "critical cycle" in capsys.readouterr().out
+
+    def test_correct_chopping(self, tmp_path, capsys):
+        path = tmp_path / "p2.json"
+        dump_programs(p2_programs(), str(path))
+        assert main(["check-chopping", str(path)]) == 0
+        assert "correct under SI" in capsys.readouterr().out
+
+    def test_criterion_selection(self, tmp_path):
+        from repro.chopping.programs import p3_programs
+
+        path = tmp_path / "p3.json"
+        dump_programs(p3_programs(), str(path))
+        assert main(["check-chopping", str(path), "--criterion", "SER"]) == 1
+        assert main(["check-chopping", str(path), "--criterion", "SI"]) == 0
+
+
+class TestCheckRobustness:
+    def test_vulnerable_app_flagged(self, tmp_path, capsys):
+        data = {
+            "programs": [
+                {"name": "w1", "pieces": [
+                    {"reads": ["a", "b"], "writes": ["a"]}]},
+                {"name": "w2", "pieces": [
+                    {"reads": ["a", "b"], "writes": ["b"]}]},
+            ]
+        }
+        path = tmp_path / "app.json"
+        path.write_text(json.dumps(data))
+        assert main(["check-robustness", str(path)]) == 1
+
+    def test_robust_app_passes(self, tmp_path):
+        data = {
+            "programs": [
+                {"name": "logger", "pieces": [
+                    {"reads": [], "writes": ["log"]}]},
+                {"name": "reader", "pieces": [
+                    {"reads": ["metrics"], "writes": []}]},
+            ]
+        }
+        path = tmp_path / "app.json"
+        path.write_text(json.dumps(data))
+        assert main(["check-robustness", str(path)]) == 0
+        assert main(["check-robustness", str(path),
+                     "--property", "psi-si"]) == 0
+
+    def test_vulnerable_flag(self, tmp_path):
+        data = {
+            "programs": [
+                {"name": "inc", "pieces": [
+                    {"reads": ["c"], "writes": ["c"]}]},
+            ]
+        }
+        path = tmp_path / "app.json"
+        path.write_text(json.dumps(data))
+        assert main(["check-robustness", str(path)]) == 1
+        assert main(
+            ["check-robustness", str(path), "--vulnerable"]
+        ) == 0
+
+
+class TestDot:
+    def test_dot_to_stdout(self, write_skew_file, capsys):
+        assert main(["dot", write_skew_file, "--model", "SI"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "RW(" in out
+
+    def test_dot_to_file(self, write_skew_file, tmp_path, capsys):
+        target = str(tmp_path / "g.dot")
+        assert main(["dot", write_skew_file, "-o", target]) == 0
+        text = open(target).read()
+        assert text.startswith("digraph")
+
+    def test_dot_refuses_disallowed(self, long_fork_file, capsys):
+        assert main(["dot", long_fork_file, "--model", "SI"]) == 1
+        assert "NOT allowed" in capsys.readouterr().err
+
+    def test_dump_witness_roundtrip(self, write_skew_file, tmp_path, capsys):
+        from repro.graphs import in_graph_si
+        from repro.io.json_format import graph_from_json
+        import json as _json
+
+        target = str(tmp_path / "w.json")
+        assert main(
+            ["check-history", write_skew_file, "--dump-witness", target]
+        ) == 0
+        with open(target) as f:
+            graph = graph_from_json(_json.load(f))
+        assert in_graph_si(graph)
+
+
+class TestDemo:
+    def test_list_cases(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "write_skew" in out
+
+    def test_run_case(self, capsys):
+        assert main(["demo", "long_fork"]) == 0
+        out = capsys.readouterr().out
+        assert "PSI: allowed" in out
+        assert "SI: NOT allowed" in out
+
+    def test_unknown_case(self, capsys):
+        assert main(["demo", "phantom"]) == 2
+
+    def test_bad_usage(self):
+        assert main(["frobnicate"]) == 2

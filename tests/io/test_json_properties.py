@@ -1,0 +1,97 @@
+"""Property-based round-trip tests for the JSON formats (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chopping.programs import Program, piece
+from repro.core.events import read as read_op, write as write_op
+from repro.core.histories import History
+from repro.core.transactions import transaction
+from repro.io.json_format import (
+    history_from_json,
+    history_to_json,
+    program_from_json,
+    program_to_json,
+)
+
+obj_names = st.sampled_from(["x", "y", "z", "acct1", "acct2"])
+values = st.integers(min_value=-100, max_value=100)
+
+ops = st.one_of(
+    st.builds(read_op, obj_names, values),
+    st.builds(write_op, obj_names, values),
+)
+
+
+@st.composite
+def transactions(draw, tid_prefix="t"):
+    index = draw(st.integers(min_value=0, max_value=999))
+    op_list = draw(st.lists(ops, min_size=1, max_size=5))
+    return transaction(f"{tid_prefix}{index}", *op_list)
+
+
+@st.composite
+def histories(draw):
+    n_sessions = draw(st.integers(min_value=1, max_value=3))
+    sessions = []
+    counter = 0
+    for s in range(n_sessions):
+        size = draw(st.integers(min_value=1, max_value=3))
+        session = []
+        for _ in range(size):
+            op_list = draw(st.lists(ops, min_size=1, max_size=4))
+            session.append(transaction(f"t{counter}", *op_list))
+            counter += 1
+        sessions.append(tuple(session))
+    return History(tuple(sessions))
+
+
+@st.composite
+def programs(draw):
+    n_pieces = draw(st.integers(min_value=1, max_value=4))
+    pieces = []
+    for _ in range(n_pieces):
+        reads = draw(st.frozensets(obj_names, max_size=3))
+        writes = draw(st.frozensets(obj_names, max_size=3))
+        label = draw(st.sampled_from(["", "a label", "x := y"]))
+        pieces.append(piece(reads, writes, label=label))
+    name = draw(st.sampled_from(["p", "transfer", "lookup"]))
+    return Program(name, tuple(pieces))
+
+
+@settings(max_examples=50, deadline=None)
+@given(histories())
+def test_history_roundtrip(h):
+    back, init_tid = history_from_json(history_to_json(h))
+    assert init_tid is None or init_tid == "t_init"
+    assert len(back.sessions) == len(h.sessions)
+    for orig, copy in zip(h.sessions, back.sessions):
+        assert [t.tid for t in orig] == [t.tid for t in copy]
+        for t_orig, t_copy in zip(orig, copy):
+            assert [e.op for e in t_orig.events] == [
+                e.op for e in t_copy.events
+            ]
+
+
+@settings(max_examples=50, deadline=None)
+@given(histories())
+def test_roundtrip_preserves_semantics(h):
+    back, _ = history_from_json(history_to_json(h))
+    assert back.objects == h.objects
+    assert back.is_internally_consistent() == h.is_internally_consistent()
+    for obj in h.objects:
+        assert {t.tid for t in back.write_transactions(obj)} == {
+            t.tid for t in h.write_transactions(obj)
+        }
+
+
+@settings(max_examples=50, deadline=None)
+@given(programs())
+def test_program_roundtrip(p):
+    back = program_from_json(program_to_json(p))
+    assert back.name == p.name
+    assert len(back.pieces) == len(p.pieces)
+    for orig, copy in zip(p.pieces, back.pieces):
+        assert orig.reads == copy.reads
+        assert orig.writes == copy.writes
+        assert orig.label == copy.label

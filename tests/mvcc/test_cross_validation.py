@@ -1,0 +1,128 @@
+"""Cross-validation of the operational engines against the theory.
+
+These are the load-bearing properties tying Sections 1–4 together:
+
+* every SI-engine run satisfies the SI axioms, and its dependency graph is
+  in GraphSI (Theorem 10(ii) made operational);
+* every serializable-engine run is in GraphSER;
+* every PSI-engine run satisfies the PSI axioms and lands in GraphPSI;
+* engine histories are accepted by the exact membership oracle.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.characterisation.membership import (
+    classify_history,
+    search_space_size,
+)
+from repro.core.models import PSI, SER, SI
+from repro.graphs.classify import in_graph_psi, in_graph_ser, in_graph_si
+from repro.graphs.extraction import graph_of
+from repro.mvcc.psi import PSIEngine
+from repro.mvcc.runtime import Scheduler
+from repro.mvcc.serializable import SerializableEngine
+from repro.mvcc.si import SIEngine
+from repro.mvcc.workloads import random_workload
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+relaxed = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@relaxed
+@given(seeds)
+def test_si_runs_satisfy_si_axioms(seed):
+    wl = random_workload(seed)
+    engine = SIEngine(wl.initial)
+    Scheduler(engine, wl.sessions).run_random(seed)
+    x = engine.abstract_execution()
+    assert SI.satisfied_by(x), SI.explain(x)
+    assert in_graph_si(graph_of(x))
+
+
+@relaxed
+@given(seeds)
+def test_serializable_runs_in_graph_ser(seed):
+    wl = random_workload(seed)
+    engine = SerializableEngine(wl.initial)
+    Scheduler(engine, wl.sessions).run_random(seed)
+    x = engine.abstract_execution()
+    assert SER.satisfied_by(x) or in_graph_ser(graph_of(x))
+    assert in_graph_ser(graph_of(x))
+
+
+@relaxed
+@given(seeds)
+def test_psi_runs_satisfy_psi_axioms(seed):
+    wl = random_workload(seed)
+    engine = PSIEngine(wl.initial)
+    Scheduler(engine, wl.sessions).run_random(seed, deliver_probability=0.3)
+    x = engine.abstract_execution()
+    assert PSI.satisfied_by(x), PSI.explain(x)
+    assert in_graph_psi(graph_of(x))
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seeds)
+def test_si_histories_accepted_by_oracle(seed):
+    wl = random_workload(
+        seed, sessions=2, transactions_per_session=2, objects=3
+    )
+    engine = SIEngine(wl.initial)
+    Scheduler(engine, wl.sessions).run_random(seed)
+    history = engine.history()
+    if search_space_size(history, init_tid="t_init") > 5000:
+        return  # keep the exact oracle tractable
+    got = classify_history(history, init_tid="t_init")
+    assert got["SI"], "SI engine produced a history outside HistSI"
+    assert got["PSI"]
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seeds)
+def test_serializable_histories_accepted_by_oracle(seed):
+    wl = random_workload(
+        seed, sessions=2, transactions_per_session=2, objects=3
+    )
+    engine = SerializableEngine(wl.initial)
+    Scheduler(engine, wl.sessions).run_random(seed)
+    history = engine.history()
+    if search_space_size(history, init_tid="t_init") > 5000:
+        return
+    got = classify_history(history, init_tid="t_init")
+    assert got["SER"], "SER engine produced a non-serializable history"
+
+
+@relaxed
+@given(seeds)
+def test_engine_histories_internally_consistent(seed):
+    wl = random_workload(seed)
+    for engine_cls in (SIEngine, SerializableEngine, PSIEngine):
+        engine = engine_cls(wl.initial)
+        Scheduler(engine, wl.sessions).run_random(seed)
+        assert engine.history().is_internally_consistent()
+
+
+@relaxed
+@given(seeds)
+def test_psi_auto_deliver_behaves_like_si(seed):
+    # With eager delivery and one replica per session, PSI runs satisfy
+    # PREFIX as well (every snapshot is a commit-prefix when deliveries
+    # are immediate and sessions serial).
+    wl = random_workload(seed, sessions=2, transactions_per_session=2)
+    engine = PSIEngine(wl.initial, auto_deliver=True)
+    scheduler = Scheduler(engine, wl.sessions)
+    # Serial execution: one session at a time.
+    for name in sorted(wl.sessions):
+        while name in scheduler.runnable_sessions():
+            scheduler.step(name)
+    x = engine.abstract_execution()
+    assert SI.satisfied_by(x), SI.explain(x)

@@ -1,0 +1,112 @@
+"""Edge-case tests across engines: vacuum inheritance, shared replicas,
+and reconstruction details."""
+
+import pytest
+
+from repro.core.errors import TransactionAborted
+from repro.core.models import PSI, SI
+from repro.mvcc import (
+    PSIEngine,
+    Scheduler,
+    SerializableEngine,
+    SIEngine,
+)
+from repro.mvcc.workloads import deposit_program
+
+
+class TestVacuumOnSerializableEngine:
+    def test_occ_engine_inherits_vacuum(self):
+        engine = SerializableEngine({"x": 0})
+        t = engine.begin("s")
+        engine.read(t, "x")
+        engine.write(t, "x", 1)
+        engine.commit(t)
+        assert engine.vacuum() == 1
+
+    def test_aggressive_vacuum_aborts_occ_reader(self):
+        engine = SerializableEngine({"x": 0})
+        old = engine.begin("old")
+        w = engine.begin("w")
+        engine.write(w, "x", 1)
+        engine.commit(w)
+        engine.vacuum(aggressive=True)
+        with pytest.raises(TransactionAborted):
+            engine.read(old, "x")
+
+
+class TestSharedReplicaPSI:
+    def test_two_sessions_one_replica_see_each_other(self):
+        engine = PSIEngine(
+            {"x": 0}, session_replicas={"a": "dc", "b": "dc"}
+        )
+        t = engine.begin("a")
+        engine.write(t, "x", 1)
+        engine.commit(t)
+        t2 = engine.begin("b")
+        assert engine.read(t2, "x") == 1
+        engine.commit(t2)
+        assert PSI.satisfied_by(engine.abstract_execution())
+
+    def test_shared_replica_conflicts_still_detected(self):
+        engine = PSIEngine(
+            {"x": 0}, session_replicas={"a": "dc", "b": "dc"}
+        )
+        t1 = engine.begin("a")
+        t2 = engine.begin("b")
+        engine.write(t1, "x", 1)
+        engine.write(t2, "x", 2)
+        engine.commit(t1)
+        with pytest.raises(TransactionAborted):
+            engine.commit(t2)
+
+
+class TestReconstructionDetails:
+    def test_history_session_order_is_commit_order_within_session(self):
+        engine = SIEngine({"x": 0})
+        sched = Scheduler(
+            engine,
+            {"s": [deposit_program("x", 1), deposit_program("x", 2)]},
+        )
+        sched.run_round_robin()
+        h = engine.history()
+        session = h.sessions[1]
+        assert len(session) == 2
+        # Second transaction read the first's write.
+        assert session[1].external_read("x") == 1
+
+    def test_abstract_execution_includes_init_everywhere(self):
+        engine = SIEngine({"x": 0})
+        t = engine.begin("s")
+        engine.read(t, "x")
+        engine.commit(t)
+        x = engine.abstract_execution()
+        init = x.history.by_tid("t_init")
+        for txn in x.history.transactions:
+            if txn != init:
+                assert (init, txn) in x.vis
+
+    def test_engine_run_satisfies_si_after_mixed_abort_paths(self):
+        engine = SIEngine({"x": 0, "y": 0})
+        # Client abort, conflict abort, then successes.
+        t = engine.begin("a")
+        engine.write(t, "x", 1)
+        engine.abort(t)
+        t1 = engine.begin("a")
+        t2 = engine.begin("b")
+        engine.write(t1, "y", 1)
+        engine.write(t2, "y", 2)
+        engine.commit(t1)
+        with pytest.raises(TransactionAborted):
+            engine.commit(t2)
+        t3 = engine.begin("b")
+        assert engine.read(t3, "y") == 1
+        engine.commit(t3)
+        assert SI.satisfied_by(engine.abstract_execution())
+
+
+class TestCLIVersion:
+    def test_version_flag(self, capsys):
+        from repro.io.cli import main
+
+        assert main(["--version"]) == 0
+        assert "repro 1.0.0" in capsys.readouterr().out

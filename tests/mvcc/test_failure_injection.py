@@ -1,0 +1,113 @@
+"""Failure injection: §5's client assumptions under simulated crashes.
+
+"If a transaction initiated by a program piece aborts, it will be
+resubmitted repeatedly until it commits, and, if a piece is aborted due
+to system failure, it will be restarted."  The scheduler's crash
+injection exercises the restart path; the invariants: every program
+still commits exactly once, results are equivalent to a crash-free run
+modulo scheduling, and all recorded behaviours stay within the model.
+"""
+
+import pytest
+
+from repro.characterisation import classify_history
+from repro.core.models import SI
+from repro.graphs import graph_of, in_graph_si
+from repro.mvcc import Scheduler, SIEngine
+from repro.mvcc.workloads import (
+    deposit_program,
+    disjoint_counter_workload,
+    random_workload,
+)
+
+
+class TestCrashMechanics:
+    def test_manual_crash_restarts_program(self):
+        engine = SIEngine({"acct": 0})
+        sched = Scheduler(engine, {"s": [deposit_program("acct", 10)]})
+        sched.step("s")  # read
+        sched.crash("s")
+        assert sched.crashes == 1
+        assert engine.stats.aborts == 1
+        # The program restarts and still commits.
+        sched.run_round_robin()
+        assert engine.stats.commits == 1
+        assert engine.store.latest("acct").value == 10
+
+    def test_crash_without_inflight_transaction_is_noop(self):
+        engine = SIEngine({"acct": 0})
+        sched = Scheduler(engine, {"s": [deposit_program("acct", 10)]})
+        sched.crash("s")
+        assert sched.crashes == 0
+
+    def test_crashed_writes_never_visible(self):
+        engine = SIEngine({"acct": 0})
+        sched = Scheduler(engine, {"s": [deposit_program("acct", 10)]})
+        sched.step("s")  # read
+        sched.step("s")  # write (buffered)
+        sched.crash("s")
+        assert engine.store.latest("acct").value == 0
+        # And a fresh reader sees nothing of the crashed attempt.
+        probe = engine.begin("probe")
+        assert engine.read(probe, "acct") == 0
+        engine.abort(probe)
+
+    def test_crash_reason_recorded(self):
+        engine = SIEngine({"acct": 0})
+        sched = Scheduler(engine, {"s": [deposit_program("acct", 10)]})
+        sched.step("s")
+        sched.crash("s")
+        assert "simulated crash" in engine.stats.abort_reasons
+
+
+class TestCrashyRuns:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_all_work_completes_despite_crashes(self, seed):
+        wl = disjoint_counter_workload(sessions=3, increments=3)
+        engine = SIEngine(wl.initial)
+        sched = Scheduler(
+            engine, wl.sessions, crash_rate=0.2, crash_seed=seed
+        )
+        result = sched.run_random(seed)
+        assert result.commits == 9
+        total = sum(
+            engine.store.latest(obj).value for obj in engine.store.objects
+        )
+        assert total == 9  # every increment applied exactly once
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_crashy_runs_stay_in_exec_si(self, seed):
+        wl = random_workload(
+            seed, sessions=3, transactions_per_session=3, objects=3
+        )
+        engine = SIEngine(wl.initial)
+        sched = Scheduler(
+            engine, wl.sessions, crash_rate=0.15, crash_seed=seed
+        )
+        sched.run_random(seed)
+        x = engine.abstract_execution()
+        assert SI.satisfied_by(x), SI.explain(x)
+        assert in_graph_si(graph_of(x))
+
+    def test_crashes_actually_injected(self):
+        wl = disjoint_counter_workload(sessions=4, increments=5)
+        engine = SIEngine(wl.initial)
+        sched = Scheduler(
+            engine, wl.sessions, crash_rate=0.3, crash_seed=1
+        )
+        sched.run_random(1)
+        assert sched.crashes > 0
+        assert engine.stats.aborts >= sched.crashes
+
+    def test_crashy_small_history_in_hist_si(self):
+        wl = random_workload(
+            2, sessions=2, transactions_per_session=2, objects=2,
+            ops_per_transaction=(1, 2),
+        )
+        engine = SIEngine(wl.initial)
+        sched = Scheduler(
+            engine, wl.sessions, crash_rate=0.25, crash_seed=3
+        )
+        sched.run_random(3)
+        got = classify_history(engine.history(), init_tid="t_init")
+        assert got["SI"]

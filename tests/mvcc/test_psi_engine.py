@@ -1,0 +1,164 @@
+"""Unit tests for the replicated parallel-SI engine."""
+
+import pytest
+
+from repro.core.errors import ScheduleError, TransactionAborted
+from repro.core.models import PSI, SI
+from repro.graphs.classify import in_graph_psi, in_graph_si
+from repro.graphs.extraction import graph_of
+from repro.mvcc.psi import PSIEngine
+
+
+@pytest.fixture
+def engine():
+    return PSIEngine({"x": 0, "y": 0})
+
+
+def commit_write(engine, session, obj, value):
+    t = engine.begin(session)
+    engine.write(t, obj, value)
+    return engine.commit(t)
+
+
+class TestReplication:
+    def test_local_commit_visible_locally(self, engine):
+        commit_write(engine, "s1", "x", 1)
+        t = engine.begin("s1")
+        assert engine.read(t, "x") == 1
+        engine.commit(t)
+
+    def test_remote_commit_invisible_until_delivered(self, engine):
+        # Create s2's replica first so it exists before s1 commits.
+        engine.replica_of("s2")
+        rec = commit_write(engine, "s1", "x", 1)
+        t = engine.begin("s2")
+        assert engine.read(t, "x") == 0
+        engine.commit(t)
+        engine.deliver(rec.tid, "r_s2")
+        t2 = engine.begin("s2")
+        assert engine.read(t2, "x") == 1
+        engine.commit(t2)
+
+    def test_backfill_for_late_replicas(self, engine):
+        rec = commit_write(engine, "s1", "x", 1)
+        engine.replica_of("s2")  # created after the commit
+        assert (rec.tid, "r_s2") in engine.pending_deliveries()
+
+    def test_auto_deliver_mode(self):
+        engine = PSIEngine({"x": 0}, auto_deliver=True)
+        engine.replica_of("s2")
+        commit_write(engine, "s1", "x", 1)
+        t = engine.begin("s2")
+        assert engine.read(t, "x") == 1
+        engine.commit(t)
+
+    def test_session_pinning(self):
+        engine = PSIEngine(
+            {"x": 0}, session_replicas={"s1": "dc1", "s2": "dc1"}
+        )
+        commit_write(engine, "s1", "x", 1)
+        t = engine.begin("s2")
+        assert engine.read(t, "x") == 1  # same replica
+        engine.commit(t)
+
+
+class TestCausalDelivery:
+    def test_delivery_respects_causality(self, engine):
+        engine.replica_of("s2")
+        engine.replica_of("s3")
+        rec1 = commit_write(engine, "s1", "x", 1)
+        engine.deliver(rec1.tid, "r_s2")
+        t = engine.begin("s2")
+        assert engine.read(t, "x") == 1
+        engine.write(t, "y", 2)
+        rec2 = engine.commit(t)
+        # rec2 observed rec1; delivering rec2 to s3 before rec1 must fail.
+        assert not engine.deliverable(rec2.tid, "r_s3")
+        with pytest.raises(ScheduleError):
+            engine.deliver(rec2.tid, "r_s3")
+        engine.deliver(rec1.tid, "r_s3")
+        engine.deliver(rec2.tid, "r_s3")
+
+    def test_deliver_all_drains_in_causal_order(self, engine):
+        engine.replica_of("s2")
+        engine.replica_of("s3")
+        rec1 = commit_write(engine, "s1", "x", 1)
+        engine.deliver(rec1.tid, "r_s2")
+        t = engine.begin("s2")
+        engine.read(t, "x")
+        engine.write(t, "y", 2)
+        engine.commit(t)
+        count = engine.deliver_all()
+        assert count >= 2
+        assert engine.pending_deliveries() == []
+
+    def test_unknown_delivery_rejected(self, engine):
+        with pytest.raises(ScheduleError):
+            engine.deliver("t99", "r_s1")
+
+
+class TestConflictDetection:
+    def test_concurrent_writers_conflict_globally(self, engine):
+        engine.replica_of("s2")
+        t1 = engine.begin("s1")
+        t2 = engine.begin("s2")
+        engine.write(t1, "x", 1)
+        engine.write(t2, "x", 2)
+        engine.commit(t1)
+        with pytest.raises(TransactionAborted) as excinfo:
+            engine.commit(t2)
+        assert "write-write conflict" in str(excinfo.value)
+
+    def test_undelivered_writer_conflicts(self, engine):
+        # s1 commits x; s2 never received it, writes x -> abort.
+        engine.replica_of("s2")
+        commit_write(engine, "s1", "x", 1)
+        t = engine.begin("s2")
+        engine.write(t, "x", 2)
+        with pytest.raises(TransactionAborted):
+            engine.commit(t)
+
+    def test_delivered_writer_no_conflict(self, engine):
+        engine.replica_of("s2")
+        rec = commit_write(engine, "s1", "x", 1)
+        engine.deliver(rec.tid, "r_s2")
+        t = engine.begin("s2")
+        engine.write(t, "x", 2)
+        engine.commit(t)  # writer visible: fine
+        assert engine.stats.commits == 2
+
+
+class TestLongFork:
+    def test_long_fork_reproducible(self, engine):
+        """The Figure 2(c) anomaly: readers on different replicas observe
+        the two writes in opposite orders."""
+        engine.replica_of("r1")
+        engine.replica_of("r2")
+        rec_w1 = commit_write(engine, "w1", "x", 1)
+        rec_w2 = commit_write(engine, "w2", "y", 1)
+        engine.deliver(rec_w1.tid, "r_r1")
+        engine.deliver(rec_w2.tid, "r_r2")
+        t1 = engine.begin("r1")
+        assert engine.read(t1, "x") == 1
+        assert engine.read(t1, "y") == 0
+        engine.commit(t1)
+        t2 = engine.begin("r2")
+        assert engine.read(t2, "x") == 0
+        assert engine.read(t2, "y") == 1
+        engine.commit(t2)
+        x = engine.abstract_execution()
+        assert PSI.satisfied_by(x)
+        assert not SI.satisfied_by(x)
+        g = graph_of(x)
+        assert in_graph_psi(g)
+        assert not in_graph_si(g)
+
+    def test_runs_always_in_exec_psi(self, engine):
+        engine.replica_of("s2")
+        rec = commit_write(engine, "s1", "x", 1)
+        t = engine.begin("s2")
+        engine.read(t, "x")
+        engine.write(t, "y", 5)
+        engine.commit(t)
+        engine.deliver_all()
+        assert PSI.satisfied_by(engine.abstract_execution())

@@ -1,0 +1,97 @@
+"""Unit tests for the serializable OCC engine (the baseline)."""
+
+import pytest
+
+from repro.core.errors import TransactionAborted
+from repro.graphs.classify import in_graph_ser
+from repro.graphs.extraction import graph_of
+from repro.mvcc.serializable import SerializableEngine
+
+
+@pytest.fixture
+def engine():
+    return SerializableEngine({"x": 0, "y": 0})
+
+
+class TestReadValidation:
+    def test_write_skew_aborted(self, engine):
+        t1 = engine.begin("s1")
+        t2 = engine.begin("s2")
+        engine.read(t1, "y")
+        engine.read(t2, "x")
+        engine.write(t1, "x", 1)
+        engine.write(t2, "y", 2)
+        engine.commit(t1)
+        with pytest.raises(TransactionAborted) as excinfo:
+            engine.commit(t2)
+        assert "read-write conflict" in str(excinfo.value)
+
+    def test_stale_read_only_transaction_aborted(self, engine):
+        t1 = engine.begin("s1")
+        engine.read(t1, "x")
+        t2 = engine.begin("s2")
+        engine.write(t2, "x", 9)
+        engine.commit(t2)
+        with pytest.raises(TransactionAborted):
+            engine.commit(t1)
+
+    def test_read_own_writeset_not_double_validated(self, engine):
+        # Reading an object you also write is validated by the write-set
+        # check, not the read-set check.
+        t1 = engine.begin("s1")
+        v = engine.read(t1, "x")
+        engine.write(t1, "x", v + 1)
+        engine.commit(t1)
+        assert engine.stats.commits == 1
+
+    def test_non_conflicting_transactions_commit(self, engine):
+        t1 = engine.begin("s1")
+        engine.read(t1, "x")
+        engine.write(t1, "x", 1)
+        engine.commit(t1)
+        t2 = engine.begin("s2")
+        engine.read(t2, "x")
+        engine.write(t2, "y", 2)
+        engine.commit(t2)
+        assert engine.stats.commits == 2
+
+
+class TestSerializabilityGuarantee:
+    def test_runs_always_in_graph_ser(self, engine):
+        # Drive several overlapping transactions; committed results must
+        # always be serializable.
+        t1 = engine.begin("s1")
+        engine.read(t1, "x")
+        engine.write(t1, "x", 1)
+        engine.commit(t1)
+        t2 = engine.begin("s2")
+        t3 = engine.begin("s3")
+        engine.read(t2, "x")
+        engine.write(t2, "y", 2)
+        engine.read(t3, "y")
+        engine.commit(t2)
+        try:
+            engine.commit(t3)
+        except TransactionAborted:
+            pass
+        g = graph_of(engine.abstract_execution())
+        assert in_graph_ser(g)
+
+    def test_first_committer_wins_still_applies(self, engine):
+        t1 = engine.begin("s1")
+        t2 = engine.begin("s2")
+        engine.write(t1, "x", 1)
+        engine.write(t2, "x", 2)
+        engine.commit(t1)
+        with pytest.raises(TransactionAborted):
+            engine.commit(t2)
+
+    def test_abort_cleans_read_set(self, engine):
+        t1 = engine.begin("s1")
+        engine.read(t1, "x")
+        engine.abort(t1)
+        # A fresh transaction in the same session works normally.
+        t2 = engine.begin("s1")
+        engine.read(t2, "x")
+        engine.commit(t2)
+        assert engine.stats.commits == 1

@@ -1,0 +1,182 @@
+"""Unit tests for the SI engine (the paper's idealised algorithm)."""
+
+import pytest
+
+from repro.core.errors import StoreError, TransactionAborted
+from repro.core.models import SI
+from repro.graphs.classify import in_graph_ser, in_graph_si
+from repro.graphs.extraction import graph_of
+from repro.mvcc.si import SIEngine
+
+
+@pytest.fixture
+def engine():
+    return SIEngine({"x": 0, "y": 0})
+
+
+class TestSnapshotReads:
+    def test_reads_initial_value(self, engine):
+        t = engine.begin("s1")
+        assert engine.read(t, "x") == 0
+        engine.commit(t)
+
+    def test_snapshot_frozen_at_start(self, engine):
+        t1 = engine.begin("s1")
+        t2 = engine.begin("s2")
+        engine.write(t2, "x", 42)
+        engine.commit(t2)
+        # t1 started before t2 committed: must not see the write.
+        assert engine.read(t1, "x") == 0
+        engine.commit(t1)
+
+    def test_later_transaction_sees_commit(self, engine):
+        t1 = engine.begin("s1")
+        engine.write(t1, "x", 42)
+        engine.commit(t1)
+        t2 = engine.begin("s2")
+        assert engine.read(t2, "x") == 42
+        engine.commit(t2)
+
+    def test_read_your_own_writes(self, engine):
+        t = engine.begin("s1")
+        engine.write(t, "x", 7)
+        assert engine.read(t, "x") == 7
+        engine.commit(t)
+
+    def test_unknown_object_rejected(self, engine):
+        t = engine.begin("s1")
+        with pytest.raises(StoreError):
+            engine.read(t, "z")
+        with pytest.raises(StoreError):
+            engine.write(t, "z", 1)
+        engine.abort(t)
+
+
+class TestFirstCommitterWins:
+    def test_concurrent_writers_conflict(self, engine):
+        t1 = engine.begin("s1")
+        t2 = engine.begin("s2")
+        engine.write(t1, "x", 1)
+        engine.write(t2, "x", 2)
+        engine.commit(t1)
+        with pytest.raises(TransactionAborted) as excinfo:
+            engine.commit(t2)
+        assert "first committer wins" in str(excinfo.value)
+        assert engine.stats.aborts == 1
+
+    def test_disjoint_writes_both_commit(self, engine):
+        t1 = engine.begin("s1")
+        t2 = engine.begin("s2")
+        engine.write(t1, "x", 1)
+        engine.write(t2, "y", 2)
+        engine.commit(t1)
+        engine.commit(t2)
+        assert engine.stats.commits == 2
+
+    def test_write_skew_admitted(self, engine):
+        # Both read each other's object, write their own: no write-write
+        # conflict, so SI commits both (the paper's §1 anomaly).
+        t1 = engine.begin("s1")
+        t2 = engine.begin("s2")
+        engine.read(t1, "x"), engine.read(t1, "y")
+        engine.read(t2, "x"), engine.read(t2, "y")
+        engine.write(t1, "x", 1)
+        engine.write(t2, "y", 2)
+        engine.commit(t1)
+        engine.commit(t2)  # must NOT raise
+        assert engine.stats.commits == 2
+
+    def test_lost_update_prevented(self, engine):
+        t1 = engine.begin("s1")
+        t2 = engine.begin("s2")
+        v1 = engine.read(t1, "x")
+        v2 = engine.read(t2, "x")
+        engine.write(t1, "x", v1 + 50)
+        engine.write(t2, "x", v2 + 25)
+        engine.commit(t1)
+        with pytest.raises(TransactionAborted):
+            engine.commit(t2)
+
+
+class TestSessionDiscipline:
+    def test_one_transaction_per_session(self, engine):
+        t = engine.begin("s1")
+        with pytest.raises(StoreError):
+            engine.begin("s1")
+        engine.abort(t)
+        engine.begin("s1")  # fine after abort
+
+    def test_operations_after_commit_rejected(self, engine):
+        t = engine.begin("s1")
+        engine.commit(t)
+        with pytest.raises(StoreError):
+            engine.read(t, "x")
+        with pytest.raises(StoreError):
+            engine.commit(t)
+
+    def test_session_reads_own_prior_commits(self, engine):
+        t1 = engine.begin("s1")
+        engine.write(t1, "x", 5)
+        engine.commit(t1)
+        t2 = engine.begin("s1")
+        assert engine.read(t2, "x") == 5
+        engine.commit(t2)
+
+
+class TestReconstruction:
+    def test_history_includes_init_and_sessions(self, engine):
+        t1 = engine.begin("s1")
+        engine.write(t1, "x", 1)
+        engine.commit(t1)
+        t2 = engine.begin("s1")
+        engine.read(t2, "x")
+        engine.commit(t2)
+        h = engine.history()
+        assert len(h.sessions) == 2  # init + s1
+        assert h.sessions[0][0].tid == "t_init"
+        assert len(h.sessions[1]) == 2
+
+    def test_aborted_transactions_excluded(self, engine):
+        t1 = engine.begin("s1")
+        engine.write(t1, "x", 1)
+        engine.abort(t1)
+        assert len(engine.history()) == 1  # init only
+
+    def test_abstract_execution_in_exec_si(self, engine):
+        t1 = engine.begin("s1")
+        engine.write(t1, "x", 1)
+        engine.commit(t1)
+        t2 = engine.begin("s2")
+        engine.read(t2, "x")
+        engine.write(t2, "y", 2)
+        engine.commit(t2)
+        x = engine.abstract_execution()
+        assert SI.satisfied_by(x)
+        assert in_graph_si(graph_of(x))
+
+    def test_write_skew_execution_not_serializable(self, engine):
+        t1 = engine.begin("s1")
+        t2 = engine.begin("s2")
+        engine.read(t1, "y")
+        engine.read(t2, "x")
+        engine.write(t1, "x", 1)
+        engine.write(t2, "y", 2)
+        engine.commit(t1)
+        engine.commit(t2)
+        g = graph_of(engine.abstract_execution())
+        assert in_graph_si(g)
+        assert not in_graph_ser(g)
+
+    def test_stats_abort_reasons(self, engine):
+        t1 = engine.begin("s1")
+        t2 = engine.begin("s2")
+        engine.write(t1, "x", 1)
+        engine.write(t2, "x", 2)
+        engine.commit(t1)
+        with pytest.raises(TransactionAborted):
+            engine.commit(t2)
+        assert engine.stats.commits == 1
+        assert any(
+            "first committer wins" in reason
+            for reason in engine.stats.abort_reasons
+        )

@@ -1,0 +1,88 @@
+"""Unit tests for the multi-version store."""
+
+import pytest
+
+from repro.core.errors import StoreError
+from repro.mvcc.store import MVStore, Version
+
+
+@pytest.fixture
+def store():
+    return MVStore({"x": 0, "y": 10})
+
+
+class TestInitialisation:
+    def test_initial_versions_at_ts_zero(self, store):
+        v = store.latest("x")
+        assert v == Version(0, 0, "t_init")
+
+    def test_empty_initial_rejected(self):
+        with pytest.raises(StoreError):
+            MVStore({})
+
+    def test_objects_sorted(self, store):
+        assert store.objects == ["x", "y"]
+
+    def test_custom_init_writer(self):
+        s = MVStore({"x": 1}, init_writer="genesis")
+        assert s.latest("x").writer == "genesis"
+
+
+class TestReads:
+    def test_read_at_snapshot(self, store):
+        store.install({"x": 5}, commit_ts=1, writer="t1")
+        store.install({"x": 7}, commit_ts=2, writer="t2")
+        assert store.read_at("x", 0).value == 0
+        assert store.read_at("x", 1).value == 5
+        assert store.read_at("x", 2).value == 7
+        assert store.read_at("x", 99).value == 7
+
+    def test_unknown_object_rejected(self, store):
+        with pytest.raises(StoreError):
+            store.read_at("z", 0)
+
+    def test_snapshot_at(self, store):
+        store.install({"x": 5}, commit_ts=1, writer="t1")
+        assert store.snapshot_at(0) == {"x": 0, "y": 10}
+        assert store.snapshot_at(1) == {"x": 5, "y": 10}
+
+
+class TestInstall:
+    def test_versions_accumulate(self, store):
+        store.install({"x": 5}, commit_ts=1, writer="t1")
+        assert [v.value for v in store.versions("x")] == [0, 5]
+
+    def test_atomic_multi_object_install(self, store):
+        store.install({"x": 1, "y": 2}, commit_ts=1, writer="t1")
+        assert store.latest("x").commit_ts == 1
+        assert store.latest("y").commit_ts == 1
+
+    def test_nonmonotonic_ts_rejected(self, store):
+        store.install({"x": 5}, commit_ts=2, writer="t1")
+        with pytest.raises(StoreError):
+            store.install({"x": 6}, commit_ts=2, writer="t2")
+        with pytest.raises(StoreError):
+            store.install({"x": 6}, commit_ts=1, writer="t2")
+
+    def test_unknown_object_install_rejected(self, store):
+        with pytest.raises(StoreError):
+            store.install({"z": 1}, commit_ts=1, writer="t1")
+
+    def test_failed_install_changes_nothing(self, store):
+        with pytest.raises(StoreError):
+            store.install({"x": 1, "z": 1}, commit_ts=1, writer="t1")
+        assert store.latest("x").value == 0
+
+
+class TestConflictDetection:
+    def test_modified_since(self, store):
+        assert not store.modified_since("x", 0)
+        store.install({"x": 5}, commit_ts=3, writer="t1")
+        assert store.modified_since("x", 0)
+        assert store.modified_since("x", 2)
+        assert not store.modified_since("x", 3)
+
+    def test_latest_commit_ts(self, store):
+        assert store.latest_commit_ts("x") == 0
+        store.install({"x": 5}, commit_ts=4, writer="t1")
+        assert store.latest_commit_ts("x") == 4

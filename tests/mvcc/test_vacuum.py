@@ -1,0 +1,102 @@
+"""Tests for version garbage collection and "snapshot too old"."""
+
+import pytest
+
+from repro.core.errors import SnapshotTooOld, TransactionAborted
+from repro.mvcc.si import SIEngine
+from repro.mvcc.store import MVStore
+
+
+class TestStoreVacuum:
+    def test_vacuum_keeps_horizon_version(self):
+        store = MVStore({"x": 0})
+        store.install({"x": 1}, commit_ts=1, writer="t1")
+        store.install({"x": 2}, commit_ts=2, writer="t2")
+        dropped = store.vacuum(horizon_ts=1)
+        assert dropped == 1  # the initial version
+        assert [v.value for v in store.versions("x")] == [1, 2]
+        # Snapshot at the horizon still reads correctly.
+        assert store.read_at("x", 1).value == 1
+
+    def test_vacuum_nothing_to_drop(self):
+        store = MVStore({"x": 0})
+        assert store.vacuum(horizon_ts=5) == 0
+
+    def test_old_snapshot_raises_after_vacuum(self):
+        store = MVStore({"x": 0})
+        store.install({"x": 1}, commit_ts=5, writer="t1")
+        store.vacuum(horizon_ts=5)
+        with pytest.raises(SnapshotTooOld):
+            store.read_at("x", 2)
+
+    def test_per_object_independence(self):
+        store = MVStore({"x": 0, "y": 0})
+        store.install({"x": 1}, commit_ts=1, writer="t1")
+        store.vacuum(horizon_ts=1)
+        # y still has only the initial version, readable at ts 0.
+        assert store.read_at("y", 0).value == 0
+        with pytest.raises(SnapshotTooOld):
+            store.read_at("x", 0)
+
+
+class TestEngineVacuum:
+    def test_safe_vacuum_respects_active_snapshots(self):
+        engine = SIEngine({"x": 0})
+        reader = engine.begin("old")  # snapshot at ts 0
+        writer = engine.begin("w")
+        engine.write(writer, "x", 1)
+        engine.commit(writer)
+        dropped = engine.vacuum()  # horizon = oldest active = 0
+        assert dropped == 0
+        assert engine.read(reader, "x") == 0  # still fine
+        engine.commit(reader)
+
+    def test_aggressive_vacuum_aborts_old_snapshot(self):
+        engine = SIEngine({"x": 0})
+        reader = engine.begin("old")
+        writer = engine.begin("w")
+        engine.write(writer, "x", 1)
+        engine.commit(writer)
+        dropped = engine.vacuum(aggressive=True)
+        assert dropped == 1
+        with pytest.raises(TransactionAborted) as excinfo:
+            engine.read(reader, "x")
+        assert "snapshot too old" in str(excinfo.value)
+        assert engine.stats.aborts == 1
+
+    def test_retry_after_snapshot_too_old_succeeds(self):
+        engine = SIEngine({"x": 0})
+        reader = engine.begin("old")
+        writer = engine.begin("w")
+        engine.write(writer, "x", 1)
+        engine.commit(writer)
+        engine.vacuum(aggressive=True)
+        with pytest.raises(TransactionAborted):
+            engine.read(reader, "x")
+        # Fresh attempt gets a current snapshot.
+        retry = engine.begin("old")
+        assert engine.read(retry, "x") == 1
+        engine.commit(retry)
+
+    def test_vacuum_with_no_active_transactions(self):
+        engine = SIEngine({"x": 0})
+        t = engine.begin("s")
+        engine.write(t, "x", 1)
+        engine.commit(t)
+        t2 = engine.begin("s")
+        engine.write(t2, "x", 2)
+        engine.commit(t2)
+        dropped = engine.vacuum()
+        assert dropped == 2  # initial and first write superseded
+
+    def test_vacuumed_run_still_in_exec_si(self):
+        from repro.core.models import SI
+
+        engine = SIEngine({"x": 0, "y": 0})
+        for i in range(4):
+            t = engine.begin("s")
+            engine.read(t, "x")
+            engine.write(t, "x", i + 1)
+            engine.commit(t)
+            engine.vacuum()
+        assert SI.satisfied_by(engine.abstract_execution())

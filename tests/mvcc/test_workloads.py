@@ -1,0 +1,127 @@
+"""Unit tests for the workload generators."""
+
+import pytest
+
+from repro.mvcc.runtime import ReadOp, Scheduler, WriteOp
+from repro.mvcc.si import SIEngine
+from repro.mvcc.workloads import (
+    blind_write_program,
+    chopped_transfer_session,
+    contended_counter_workload,
+    deposit_program,
+    disjoint_counter_workload,
+    long_fork_sessions,
+    lookup_program,
+    random_workload,
+    read_pair_program,
+    withdraw_program,
+)
+
+
+def ops_of(program):
+    """Drive a program standalone, answering reads with 0."""
+    gen = program()
+    ops = []
+    to_send = None
+    while True:
+        try:
+            op = gen.send(to_send)
+        except StopIteration:
+            return ops
+        ops.append(op)
+        to_send = 0 if isinstance(op, ReadOp) else None
+
+
+class TestScenarioPrograms:
+    def test_withdraw_checks_balance(self):
+        # With both balances at 0 the check fails: no write.
+        ops = ops_of(withdraw_program("a", "b"))
+        assert all(isinstance(op, ReadOp) for op in ops)
+
+    def test_deposit_reads_then_writes(self):
+        ops = ops_of(deposit_program("acct", 10))
+        assert isinstance(ops[0], ReadOp)
+        assert isinstance(ops[1], WriteOp)
+        assert ops[1].value == 10
+
+    def test_blind_write(self):
+        ops = ops_of(blind_write_program("x", 3))
+        assert ops == [WriteOp("x", 3)]
+
+    def test_read_pair_order(self):
+        ops = ops_of(read_pair_program("x", "y"))
+        assert [op.obj for op in ops] == ["x", "y"]
+
+    def test_chopped_transfer_two_pieces(self):
+        pieces = chopped_transfer_session()
+        assert len(pieces) == 2
+        debit = ops_of(pieces[0])
+        credit = ops_of(pieces[1])
+        assert debit[1].value == -100
+        assert credit[1].value == 100
+
+    def test_lookup_program_reads_all(self):
+        ops = ops_of(lookup_program("a", "b", "c"))
+        assert [op.obj for op in ops] == ["a", "b", "c"]
+
+    def test_long_fork_sessions_shape(self):
+        sessions = long_fork_sessions()
+        assert set(sessions) == {"w1", "w2", "r1", "r2"}
+
+
+class TestRandomWorkloads:
+    def test_deterministic_per_seed(self):
+        def trace(seed):
+            wl = random_workload(seed)
+            engine = SIEngine(wl.initial)
+            Scheduler(engine, wl.sessions).run_random(seed)
+            return [(r.session, tuple(r.events)) for r in engine.committed]
+
+        assert trace(3) == trace(3)
+
+    def test_different_seeds_differ(self):
+        wl1 = random_workload(1)
+        wl2 = random_workload(2)
+        e1 = SIEngine(wl1.initial)
+        e2 = SIEngine(wl2.initial)
+        Scheduler(e1, wl1.sessions).run_round_robin()
+        Scheduler(e2, wl2.sessions).run_round_robin()
+        t1 = [tuple(r.events) for r in e1.committed]
+        t2 = [tuple(r.events) for r in e2.committed]
+        assert t1 != t2
+
+    def test_shape_parameters_respected(self):
+        wl = random_workload(0, sessions=4, transactions_per_session=2,
+                             objects=5)
+        assert len(wl.sessions) == 4
+        assert all(len(progs) == 2 for progs in wl.sessions.values())
+        assert len(wl.initial) == 5
+
+    def test_written_values_unique(self):
+        wl = random_workload(5, sessions=3, transactions_per_session=3)
+        engine = SIEngine(wl.initial)
+        Scheduler(engine, wl.sessions).run_round_robin()
+        written = [
+            e.value
+            for r in engine.committed
+            for e in r.events
+            if e.is_write
+        ]
+        assert len(written) == len(set(written))
+
+    def test_contended_counter_workload_runs(self):
+        wl = contended_counter_workload(0, sessions=3, increments=2)
+        engine = SIEngine(wl.initial)
+        result = Scheduler(engine, wl.sessions).run_random(0)
+        assert result.commits == 6
+        total = sum(
+            engine.store.latest(obj).value for obj in engine.store.objects
+        )
+        assert total == 6  # no lost updates under SI
+
+    def test_disjoint_counter_workload_no_aborts(self):
+        wl = disjoint_counter_workload(sessions=3, increments=2)
+        engine = SIEngine(wl.initial)
+        result = Scheduler(engine, wl.sessions).run_random(0)
+        assert result.aborts == 0
+        assert result.commits == 6

@@ -1,0 +1,98 @@
+"""Unit tests for the dynamic robustness criteria (Theorems 19 and 22)."""
+
+import pytest
+
+from repro.anomalies import long_fork, lost_update, write_skew
+from repro.characterisation.membership import decide
+from repro.graphs.extraction import graph_of
+from repro.robustness.dynamic import (
+    exhibits_psi_only_behaviour,
+    exhibits_psi_only_behaviour_by_cycles,
+    exhibits_si_only_behaviour,
+    exhibits_si_only_behaviour_by_cycles,
+    psi_anomaly_witness,
+    si_anomaly_witness,
+)
+from repro.search.random_graphs import random_dependency_graph
+
+
+def write_skew_graph():
+    return graph_of(write_skew().execution)
+
+
+def long_fork_graph():
+    case = long_fork()
+    return decide(case.history, "PSI", init_tid=case.init_tid).witness
+
+
+def acyclic_graph():
+    from repro.anomalies import fig4_g2
+
+    return fig4_g2().graph
+
+
+class TestTheorem19:
+    def test_write_skew_is_si_only(self):
+        g = write_skew_graph()
+        assert exhibits_si_only_behaviour(g)
+        assert exhibits_si_only_behaviour_by_cycles(g)
+
+    def test_acyclic_graph_not_si_only(self):
+        g = acyclic_graph()
+        assert not exhibits_si_only_behaviour(g)
+        assert not exhibits_si_only_behaviour_by_cycles(g)
+
+    def test_long_fork_not_si_only(self):
+        g = long_fork_graph()
+        assert not exhibits_si_only_behaviour(g)
+        assert not exhibits_si_only_behaviour_by_cycles(g)
+
+    def test_witness_cycle_for_write_skew(self):
+        witness = si_anomaly_witness(write_skew_graph())
+        assert witness is not None
+        from repro.graphs.cycles import EdgeKind
+
+        assert witness.count(EdgeKind.RW) >= 1
+
+
+class TestTheorem22:
+    def test_long_fork_is_psi_only(self):
+        g = long_fork_graph()
+        assert exhibits_psi_only_behaviour(g)
+        assert exhibits_psi_only_behaviour_by_cycles(g)
+
+    def test_write_skew_not_psi_only(self):
+        g = write_skew_graph()
+        assert not exhibits_psi_only_behaviour(g)
+        assert not exhibits_psi_only_behaviour_by_cycles(g)
+
+    def test_acyclic_not_psi_only(self):
+        g = acyclic_graph()
+        assert not exhibits_psi_only_behaviour(g)
+        assert not exhibits_psi_only_behaviour_by_cycles(g)
+
+    def test_long_fork_witness_has_no_adjacent_rws(self):
+        witness = psi_anomaly_witness(long_fork_graph())
+        assert witness is not None
+        from repro.graphs.cycles import is_antidependency
+
+        assert not witness.has_adjacent_pair(is_antidependency)
+
+
+class TestEquivalenceOnRandomGraphs:
+    """The compositional and cycle-based criteria must agree — an
+    executable consistency check of the theorem statements."""
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_theorem19_agreement(self, seed):
+        g = random_dependency_graph(seed, transactions=4, objects=3)
+        assert exhibits_si_only_behaviour(g) == (
+            exhibits_si_only_behaviour_by_cycles(g)
+        )
+
+    @pytest.mark.parametrize("seed", range(12))
+    def test_theorem22_agreement(self, seed):
+        g = random_dependency_graph(seed, transactions=4, objects=3)
+        assert exhibits_psi_only_behaviour(g) == (
+            exhibits_psi_only_behaviour_by_cycles(g)
+        )

@@ -1,0 +1,156 @@
+"""Unit tests for the static robustness analyses (§6.1, §6.2)."""
+
+import pytest
+
+from repro.chopping.programs import p4_programs, piece, program
+from repro.graphs.cycles import EdgeKind
+from repro.robustness.static import (
+    check_robustness_against_si,
+    check_robustness_psi_to_si,
+    robust_against_si,
+    robust_psi_to_si,
+    robustness_report,
+    static_dependency_graph,
+)
+
+
+def write_skew_app():
+    """The Section 1 banking example: two conditional withdrawals."""
+    return [
+        program("withdraw1", piece({"acct1", "acct2"}, {"acct1"})),
+        program("withdraw2", piece({"acct1", "acct2"}, {"acct2"})),
+    ]
+
+
+def disjoint_app():
+    """Two programs with no read/write overlap anywhere (robust even under
+    the plain analysis with several instances: a blind writer and a reader
+    of different objects)."""
+    return [
+        program("logger", piece((), {"log"})),
+        program("reporter", piece({"metrics"}, ())),
+    ]
+
+
+def rmw_app():
+    """A single read-modify-write increment program.  Two instances
+    self-conflict; the plain analysis flags it, the vulnerability
+    refinement proves it robust."""
+    return [program("inc", piece({"c"}, {"c"}))]
+
+
+def long_fork_app():
+    """Figure 12's programs as whole transactions."""
+    return [p.unchopped() for p in p4_programs()]
+
+
+class TestStaticDependencyGraph:
+    def test_edges_from_set_overlaps(self):
+        g = static_dependency_graph(write_skew_app(), instances=1)
+        kinds = {(e.src, e.dst, e.kind) for e in g.edges}
+        assert ("withdraw1#0", "withdraw2#0", EdgeKind.WR) in kinds
+        assert ("withdraw1#0", "withdraw2#0", EdgeKind.RW) in kinds
+
+    def test_instances_create_self_conflict_nodes(self):
+        g = static_dependency_graph(
+            [program("inc", piece({"c"}, {"c"}))], instances=2
+        )
+        assert {"inc#0", "inc#1"} <= g.nodes
+        kinds = {e.kind for e in g.edges_between("inc#0", "inc#1")}
+        assert EdgeKind.WW in kinds
+
+    def test_invalid_instances_rejected(self):
+        with pytest.raises(ValueError):
+            static_dependency_graph(disjoint_app(), instances=0)
+
+
+class TestRobustnessAgainstSI:
+    def test_write_skew_app_not_robust(self):
+        verdict = check_robustness_against_si(write_skew_app(), instances=1)
+        assert not verdict.robust
+        assert verdict.witness is not None
+        assert verdict.witness.count(EdgeKind.RW) >= 2
+
+    def test_disjoint_app_robust(self):
+        assert robust_against_si(disjoint_app())
+
+    def test_single_writer_app_robust(self):
+        apps = [
+            program("writer", piece((), {"x"})),
+            program("reader", piece({"x"}, ())),
+        ]
+        assert robust_against_si(apps)
+
+    def test_self_conflicting_increment_plain_vs_refined(self):
+        inc = rmw_app()
+        # The plain paper analysis is conservative: the static RW self-
+        # cycle between two instances flags it.
+        assert not robust_against_si(inc)
+        # The Fekete-style vulnerability refinement recognises that two
+        # write-conflicting increments can never be concurrent.
+        assert robust_against_si(inc, require_vulnerable=True)
+
+    def test_refinement_keeps_true_positives(self):
+        assert not robust_against_si(
+            write_skew_app(), instances=1, require_vulnerable=True
+        )
+
+
+class TestRobustnessPSItoSI:
+    def test_long_fork_app_not_robust(self):
+        verdict = check_robustness_psi_to_si(long_fork_app(), instances=1)
+        assert not verdict.robust
+        assert verdict.witness is not None
+        from repro.graphs.cycles import is_antidependency
+
+        assert not verdict.witness.has_adjacent_pair(is_antidependency)
+        assert verdict.witness.count(EdgeKind.RW) >= 2
+
+    def test_write_skew_app_not_robust_psi_to_si_with_instances(self):
+        # With two instances, the withdrawals embed a long-fork shape:
+        # both programs read both accounts and write different ones, so
+        # two readers (second instances) can observe the two writes in
+        # opposite orders under PSI.  The search finds the non-adjacent
+        # RW cycle through repeated program nodes.
+        assert not robust_psi_to_si(write_skew_app(), instances=1)
+
+    def test_blind_writers_robust_psi_to_si(self):
+        # Write-write conflicts only: no anti-dependency edges at all, so
+        # no dangerous cycle can exist.
+        apps = [
+            program("set_a", piece((), {"x"})),
+            program("set_b", piece((), {"x"})),
+        ]
+        assert robust_psi_to_si(apps)
+
+    def test_single_object_reader_writer_flagged_conservatively(self):
+        # The plain §6.2 static analysis flags a publish/poll pair: the
+        # static graph has a (non-simple) cycle alternating RW and WR
+        # twice, even though WW-totality makes it unrealisable on one
+        # object.  Conservative but sound.
+        apps = [
+            program("publish", piece((), {"inbox"})),
+            program("poll", piece({"inbox"}, ())),
+        ]
+        assert not robust_psi_to_si(apps)
+
+    def test_disjoint_app_robust(self):
+        assert robust_psi_to_si(disjoint_app())
+
+
+class TestReport:
+    def test_report_shape(self):
+        report = robustness_report(
+            {"bank": write_skew_app(), "disjoint": disjoint_app()},
+            instances=1,
+        )
+        assert report == {
+            "bank": {"SI=>SER": False, "PSI=>SI": False},
+            "disjoint": {"SI=>SER": True, "PSI=>SI": True},
+        }
+
+    def test_verdict_str(self):
+        good = check_robustness_against_si(disjoint_app())
+        bad = check_robustness_against_si(write_skew_app(), instances=1)
+        assert "robust against SI" in str(good)
+        assert "dangerous static cycle" in str(bad)

@@ -1,0 +1,108 @@
+"""Unit tests for exhaustive schedule exploration."""
+
+import pytest
+
+from repro.core.models import SI
+from repro.mvcc.serializable import SerializableEngine
+from repro.mvcc.si import SIEngine
+from repro.mvcc.workloads import (
+    deposit_program,
+    lost_update_sessions,
+    write_skew_sessions,
+)
+from repro.search.enumerate import (
+    distinct_histories,
+    explore_runs,
+    history_key,
+)
+
+
+class TestExploration:
+    def test_single_session_single_run(self):
+        runs = list(
+            explore_runs(
+                lambda: SIEngine({"acct": 0}),
+                lambda: {"s": [deposit_program("acct", 1)]},
+            )
+        )
+        assert len(runs) == 1
+        assert runs[0].commits == 1
+
+    def test_all_interleavings_enumerated(self):
+        # Two sessions with 3 scheduler steps each (read, write, commit):
+        # the interleaving count is C(6,3) = 20, no aborts change that for
+        # write-skew (its programs never write-conflict).
+        runs = list(
+            explore_runs(
+                lambda: SIEngine({"acct1": 70, "acct2": 80}),
+                write_skew_sessions,
+            )
+        )
+        assert len(runs) >= 20
+        assert all(run.commits == 2 for run in runs)
+
+    def test_schedules_unique(self):
+        runs = list(
+            explore_runs(
+                lambda: SIEngine({"acct": 0}),
+                lost_update_sessions,
+            )
+        )
+        schedules = [run.schedule for run in runs]
+        assert len(schedules) == len(set(schedules))
+
+    def test_max_runs_caps(self):
+        runs = list(
+            explore_runs(
+                lambda: SIEngine({"acct": 0}),
+                lost_update_sessions,
+                max_runs=3,
+            )
+        )
+        assert len(runs) == 3
+
+    def test_all_executions_satisfy_si(self):
+        for run in explore_runs(
+            lambda: SIEngine({"acct": 0}), lost_update_sessions
+        ):
+            assert SI.satisfied_by(run.execution)
+
+    def test_aborted_runs_retry_to_completion(self):
+        runs = list(
+            explore_runs(lambda: SIEngine({"acct": 0}), lost_update_sessions)
+        )
+        # Every complete run commits both deposits eventually.
+        assert all(run.commits == 2 for run in runs)
+        assert any(run.aborts > 0 for run in runs)
+
+
+class TestHistoryKeys:
+    def test_key_ignores_tids(self):
+        runs = list(
+            explore_runs(lambda: SIEngine({"acct": 0}), lost_update_sessions)
+        )
+        k1 = history_key(runs[0].history)
+        assert isinstance(k1, tuple)
+
+    def test_distinct_histories_deduplicates(self):
+        runs = list(
+            explore_runs(lambda: SIEngine({"acct": 0}), lost_update_sessions)
+        )
+        distinct = distinct_histories(iter(runs))
+        assert 1 <= len(distinct) < len(runs)
+
+    def test_ser_explores_fewer_distinct_histories_than_si(self):
+        # Write skew: SI admits the anomaly history, SER does not.
+        si_runs = distinct_histories(
+            explore_runs(
+                lambda: SIEngine({"acct1": 70, "acct2": 80}),
+                write_skew_sessions,
+            )
+        )
+        ser_runs = distinct_histories(
+            explore_runs(
+                lambda: SerializableEngine({"acct1": 70, "acct2": 80}),
+                write_skew_sessions,
+            )
+        )
+        assert len(ser_runs) < len(si_runs)

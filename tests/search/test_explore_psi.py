@@ -1,0 +1,87 @@
+"""Exhaustive exploration of PSI engines, delivery choices included."""
+
+import pytest
+
+from repro.characterisation.exec_search import history_allowed
+from repro.core.models import PSI
+from repro.mvcc.psi import PSIEngine
+from repro.mvcc.runtime import ReadOp, WriteOp
+from repro.search.enumerate import (
+    DELIVER,
+    distinct_histories,
+    explore_runs,
+)
+
+# Re-export check: DELIVER must be the schedule token used by explorers.
+from repro.mvcc.runtime import DELIVER as RUNTIME_DELIVER
+
+
+def writer(obj, value):
+    def tx():
+        yield WriteOp(obj, value)
+
+    return tx
+
+
+def reader(*objs):
+    def tx():
+        for obj in objs:
+            yield ReadOp(obj)
+
+    return tx
+
+
+def make_engine():
+    # Pre-pin replicas so delivery choices exist from the start.
+    engine = PSIEngine({"x": 0, "y": 0})
+    for session in ("w1", "w2", "r"):
+        engine.replica_of(session)
+    return engine
+
+
+def make_sessions():
+    return {
+        "w1": [writer("x", 1)],
+        "w2": [writer("y", 1)],
+        "r": [reader("x", "y")],
+    }
+
+
+class TestPSIExploration:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        return list(
+            explore_runs(make_engine, make_sessions, max_depth=40)
+        )
+
+    def test_delivery_choices_branch(self, runs):
+        assert any(DELIVER in run.schedule for run in runs)
+
+    def test_all_executions_satisfy_psi(self, runs):
+        for run in runs:
+            assert PSI.satisfied_by(run.execution)
+
+    def test_all_histories_in_hist_psi(self, runs):
+        for run in distinct_histories(iter(runs)).values():
+            assert history_allowed(
+                run.history, "PSI", init_tid="t_init"
+            ), run.history.describe()
+
+    def test_reader_observes_multiple_states(self, runs):
+        # Across schedules the reader sees (0,0), (1,0), (0,1) and (1,1):
+        # delivery timing is genuinely explored.
+        observations = set()
+        for run in runs:
+            r = run.history.by_tid(
+                next(
+                    t.tid
+                    for t in run.history.transactions
+                    if t.tid != "t_init" and not t.written_objects
+                )
+            )
+            observations.add(tuple(e.value for e in r.events))
+        assert {(0, 0), (1, 0), (0, 1), (1, 1)} <= observations
+
+    def test_runs_deduplicate_to_few_histories(self, runs):
+        distinct = distinct_histories(iter(runs))
+        assert 4 <= len(distinct) <= len(runs)

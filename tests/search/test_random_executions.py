@@ -1,0 +1,104 @@
+"""Tests for the generative SI-execution sampler (generalised SI)."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.characterisation.completeness import check_lemma12
+from repro.characterisation.solver import (
+    Solution,
+    is_smaller_or_equal,
+    least_solution,
+    satisfies_inequalities,
+)
+from repro.core.models import PSI, SI
+from repro.graphs.extraction import (
+    antidependencies_via_visibility,
+    graph_of,
+)
+from repro.graphs.classify import in_graph_si
+from repro.search.random_executions import random_si_execution
+
+seeds = st.integers(min_value=0, max_value=10_000)
+relaxed = settings(
+    max_examples=25, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+class TestGeneratedExecutions:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_satisfy_all_si_axioms(self, seed):
+        x = random_si_execution(seed, staleness=0.8)
+        assert SI.satisfied_by(x), SI.explain(x)
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_graphs_in_graphsi(self, seed):
+        # Theorem 10(ii) on generatively-sampled executions.
+        x = random_si_execution(seed, staleness=0.8)
+        assert in_graph_si(graph_of(x))
+
+    def test_deterministic_per_seed(self):
+        x1 = random_si_execution(5)
+        x2 = random_si_execution(5)
+        assert {t.tid for t in x1.history.transactions} == {
+            t.tid for t in x2.history.transactions
+        }
+        assert {(a.tid, b.tid) for a, b in x1.vis} == {
+            (a.tid, b.tid) for a, b in x2.vis
+        }
+
+    def test_staleness_produces_non_latest_snapshots(self):
+        stale_found = 0
+        for seed in range(25):
+            x = random_si_execution(seed, staleness=1.0)
+            for t in x.history.transactions:
+                if x.vis.predecessors(t) < x.co.predecessors(t):
+                    stale_found += 1
+        assert stale_found > 0, "generator never produced a stale snapshot"
+
+    def test_zero_staleness_gives_latest_snapshots(self):
+        for seed in range(5):
+            x = random_si_execution(seed, staleness=0.0)
+            for t in x.history.transactions:
+                assert x.vis.predecessors(t) == x.co.predecessors(t)
+
+    def test_shape_parameters(self):
+        x = random_si_execution(1, transactions=8, objects=4, sessions=2)
+        assert len(x.history.transactions) == 9
+        assert len(x.history.objects) == 4
+
+
+class TestTheoremsOnGeneralisedSI:
+    """The paper's lemmas must hold on stale-snapshot executions too —
+    the engine-based samplers never exercise this region of ExecSI."""
+
+    @relaxed
+    @given(seeds)
+    def test_lemma12(self, seed):
+        x = random_si_execution(seed, staleness=0.9)
+        assert check_lemma12(x) == []
+
+    @relaxed
+    @given(seeds)
+    def test_proposition14(self, seed):
+        x = random_si_execution(seed, staleness=0.9)
+        g = graph_of(x)
+        assert g.rw_union.pairs == antidependencies_via_visibility(x).pairs
+
+    @relaxed
+    @given(seeds)
+    def test_lemma15_minimality(self, seed):
+        x = random_si_execution(seed, staleness=0.9)
+        g = graph_of(x)
+        least = least_solution(g)
+        actual = Solution(vis=x.vis, co=x.co)
+        assert satisfies_inequalities(g, actual)
+        assert is_smaller_or_equal(least, actual)
+
+    @relaxed
+    @given(seeds)
+    def test_si_executions_satisfy_psi(self, seed):
+        # ExecSI ⊆ ExecPSI (PREFIX + VIS⊆CO gives TRANSVIS).
+        x = random_si_execution(seed, staleness=0.9)
+        assert PSI.satisfied_by(x)

@@ -1,0 +1,67 @@
+"""Unit tests for the random graph generators."""
+
+import pytest
+
+from repro.graphs.classify import in_graph_si
+from repro.search.random_graphs import (
+    graph_from_si_run,
+    random_dependency_graph,
+    random_graphsi_graph,
+)
+
+
+class TestRandomDependencyGraph:
+    def test_wellformed_by_construction(self):
+        for seed in range(10):
+            g = random_dependency_graph(seed)
+            assert g.well_formedness_violations() == []
+
+    def test_deterministic_per_seed(self):
+        g1 = random_dependency_graph(42)
+        g2 = random_dependency_graph(42)
+        assert {t.tid for t in g1.transactions} == {
+            t.tid for t in g2.transactions
+        }
+        assert dict(g1.wr).keys() == dict(g2.wr).keys()
+        for obj in g1.wr:
+            assert {
+                (a.tid, b.tid) for a, b in g1.wr[obj]
+            } == {(a.tid, b.tid) for a, b in g2.wr[obj]}
+
+    def test_shape_parameters(self):
+        g = random_dependency_graph(0, transactions=8, objects=5, sessions=2)
+        assert len(g.transactions) == 9  # + init
+        assert len(g.history.objects) == 5
+        assert len(g.history.sessions) <= 3  # init + up to 2
+
+    def test_init_first_in_ww(self):
+        g = random_dependency_graph(7)
+        init = g.history.by_tid("t_init")
+        for obj in g.history.objects:
+            writers = g.history.write_transactions(obj)
+            if len(writers) > 1:
+                assert g.ww_on(obj).min_element(writers) == init
+
+    def test_internally_consistent(self):
+        for seed in range(10):
+            assert random_dependency_graph(seed).history.is_internally_consistent()
+
+
+class TestGraphSISamplers:
+    def test_rejection_sampler_yields_graphsi(self):
+        for seed in range(5):
+            g = random_graphsi_graph(seed, transactions=4, objects=3)
+            assert in_graph_si(g)
+
+    def test_engine_sampler_always_graphsi(self):
+        for seed in range(5):
+            g = graph_from_si_run(seed)
+            assert in_graph_si(g)
+            assert g.well_formedness_violations() == []
+
+    def test_engine_sampler_deterministic(self):
+        g1 = graph_from_si_run(3)
+        g2 = graph_from_si_run(3)
+        assert {t.tid for t in g1.transactions} == {
+            t.tid for t in g2.transactions
+        }

@@ -1,0 +1,33 @@
+"""Regression tests: every example script must run cleanly.
+
+Examples are part of the public deliverable; running them in a
+subprocess guards against API drift.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+SCRIPTS = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_directory_populated():
+    assert len(SCRIPTS) >= 7
+
+
+@pytest.mark.parametrize("script", SCRIPTS)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, (
+        f"{script} failed:\n{result.stdout[-2000:]}\n{result.stderr[-2000:]}"
+    )
+    assert result.stdout.strip(), f"{script} produced no output"

@@ -1,0 +1,86 @@
+"""Tests for the DOT export."""
+
+import re
+
+import pytest
+
+from repro.anomalies import fig4_g1, write_skew
+from repro.chopping import (
+    dynamic_chopping_graph,
+    p1_programs,
+    static_chopping_graph,
+)
+from repro.graphs import graph_of
+from repro.viz import (
+    dependency_graph_to_dot,
+    execution_to_dot,
+    labeled_digraph_to_dot,
+)
+
+
+def assert_balanced_dot(text: str) -> None:
+    assert text.startswith("digraph")
+    assert text.rstrip().endswith("}")
+    assert text.count("{") == text.count("}")
+    # Every edge line is well formed.
+    for line in text.splitlines():
+        if "->" in line:
+            assert re.search(r'".+" -> ".+" \[.*\];$', line.strip()), line
+
+
+class TestDependencyGraphExport:
+    def test_contains_all_transactions_and_edges(self):
+        g = graph_of(write_skew().execution)
+        dot = dependency_graph_to_dot(g)
+        assert_balanced_dot(dot)
+        for tid in ("t_init", "t1", "t2"):
+            assert f'"{tid}"' in dot
+        assert "RW(acct1)" in dot
+        assert "RW(acct2)" in dot
+        assert "WR(" in dot
+
+    def test_operations_in_node_labels(self):
+        g = graph_of(write_skew().execution)
+        dot = dependency_graph_to_dot(g)
+        assert "write(acct1, -30)" in dot
+
+    def test_so_edges_optional(self):
+        g = fig4_g1().graph
+        with_so = dependency_graph_to_dot(g, include_so=True)
+        without = dependency_graph_to_dot(g, include_so=False)
+        assert 'label="SO"' in with_so
+        assert 'label="SO"' not in without
+
+    def test_quoting_of_special_names(self):
+        dot = dependency_graph_to_dot(fig4_g1().graph, name='my "graph"')
+        assert_balanced_dot(dot)
+
+
+class TestLabeledDigraphExport:
+    def test_scg_export(self):
+        scg = static_chopping_graph(p1_programs())
+        dot = labeled_digraph_to_dot(scg)
+        assert_balanced_dot(dot)
+        assert "style=dashed" in dot  # predecessor edges
+        assert "RW(acct1)" in dot
+
+    def test_dcg_export(self):
+        dcg = dynamic_chopping_graph(fig4_g1().graph)
+        dot = labeled_digraph_to_dot(dcg, name="DCG")
+        assert_balanced_dot(dot)
+        assert '"DCG"' in dot.splitlines()[0]
+
+
+class TestExecutionExport:
+    def test_vis_and_co_styles(self):
+        dot = execution_to_dot(write_skew().execution)
+        assert_balanced_dot(dot)
+        assert 'label="VIS"' in dot
+        assert 'label="CO"' in dot
+        assert "style=dotted" in dot
+
+    def test_transitive_reduction_shrinks_output(self):
+        x = write_skew().execution
+        reduced = execution_to_dot(x, transitive_reduction=True)
+        full = execution_to_dot(x, transitive_reduction=False)
+        assert reduced.count("->") <= full.count("->")
