@@ -9,7 +9,7 @@ monitor's verdicts match the offline oracle on engine runs.
 
 import pytest
 
-from repro.monitor import ConsistencyMonitor, watch_engine
+from repro.monitor import ConsistencyMonitor, WindowedMonitor, watch_engine
 from repro.mvcc import PSIEngine, Scheduler, SIEngine
 from repro.mvcc.workloads import (
     long_fork_sessions,
@@ -53,6 +53,66 @@ def test_bench_violation_detection_latency(benchmark):
 
     monitor, violations = benchmark(monitor_run)
     assert violations
+
+
+def pad_stream(length):
+    """A long, violation-free commit stream over 8 objects."""
+    from repro.core.events import write
+
+    initial = {f"p{i}": 0 for i in range(8)}
+    events = [
+        (f"t{i}", f"s{i % 6}", [write(f"p{i % 8}", i + 1)])
+        for i in range(length)
+    ]
+    return initial, events
+
+
+def feed(monitor, events):
+    for tid, session, ops in events:
+        assert monitor.observe_commit(tid, session, ops) is None
+    return monitor
+
+
+@pytest.mark.parametrize(
+    "variant,length",
+    [("full", 400), ("windowed", 400), ("full", 800), ("windowed", 800)],
+)
+def test_bench_full_vs_windowed_cost(benchmark, variant, length):
+    """The point of windowing: full-monitor cost grows with run length,
+    the windowed monitor's stays flat (graph bounded by the window)."""
+    initial, events = pad_stream(length)
+
+    def run():
+        if variant == "full":
+            monitor = ConsistencyMonitor("SI", dict(initial))
+        else:
+            monitor = WindowedMonitor(32, "SI", dict(initial))
+        return feed(monitor, events)
+
+    monitor = benchmark(run)
+    assert monitor.consistent
+    assert monitor.commit_count == length
+    if variant == "windowed":
+        assert monitor.retained_count == 32
+
+
+def test_windowed_state_stays_flat():
+    initial, events = pad_stream(1000)
+    full = feed(ConsistencyMonitor("SI", dict(initial)), events)
+    windowed = feed(WindowedMonitor(32, "SI", dict(initial)), events)
+    sizes = windowed.state_size()
+    print_table(
+        "Monitor state after 1000 commits",
+        ["monitor", "graph nodes", "edges"],
+        [
+            ("full", len(full._records), sum(
+                len(s) for s in (full._so, full._wr, full._ww, full._rw)
+            )),
+            ("windowed (w=32)", sizes["records"], sizes["edges"]),
+        ],
+    )
+    assert len(full._records) == 1000
+    assert sizes["records"] == 32
 
 
 def test_monitor_report():

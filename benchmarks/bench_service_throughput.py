@@ -1,0 +1,116 @@
+"""E23 — Concurrent service throughput with online certification.
+
+The service layer makes the reproduction *serve*: N worker threads
+drive the SmallBank mix through the engines, each commit certified in
+commit order by a windowed monitor (§7 made operational).  The bench
+measures end-to-end committed-transaction throughput and abort rates
+per engine, asserts the monitor stays silent when its model matches the
+engine's guarantee (any flag there would be a false positive), and
+writes the machine-readable ``BENCH_service.json`` record CI tracks.
+"""
+
+import pytest
+
+from repro.monitor import WindowedMonitor
+from repro.mvcc import PSIEngine, SerializableEngine, SIEngine
+from repro.service import LoadGenerator, TransactionService, smallbank_mix
+
+from helpers import print_table, write_bench_json
+
+WORKERS = 8
+TXNS_PER_WORKER = 25
+WINDOW = 64
+
+MODELS = {
+    "SI": (SIEngine, "SI"),
+    "SER": (SerializableEngine, "SER"),
+    "PSI": (lambda initial: PSIEngine(initial, auto_deliver=True), "PSI"),
+}
+
+
+def drive(model_name, workers=WORKERS, txns=TXNS_PER_WORKER, seed=0):
+    engine_factory, monitor_model = MODELS[model_name]
+    mix = smallbank_mix(customers=4)
+    monitor = WindowedMonitor(WINDOW, monitor_model, dict(mix.initial))
+    service = TransactionService(
+        engine_factory(dict(mix.initial)),
+        monitor,
+        max_retries=2000,
+        backoff_base=0.0001,
+    )
+    result = LoadGenerator(
+        service,
+        mix,
+        workers=workers,
+        transactions_per_worker=txns,
+        seed=seed,
+    ).run()
+    return service, monitor, result
+
+
+@pytest.mark.parametrize("model_name", sorted(MODELS))
+def test_bench_service_throughput(benchmark, model_name):
+    service, monitor, result = benchmark(drive, model_name)
+    # The monitor's model matches the engine's guarantee, so every
+    # violation would be a false positive.
+    assert result.violations == 0
+    assert monitor.consistent
+    assert result.committed + result.retry_exhausted > 0
+    assert monitor.retained_count <= WINDOW
+    # The monitor saw every commit the service performed.
+    assert monitor.commit_count == service.metrics.commits
+
+
+def test_service_report():
+    """The per-model summary table and the BENCH_service.json record."""
+    rows = []
+    results = {}
+    for model_name in ("SI", "SER", "PSI"):
+        service, monitor, result = drive(model_name)
+        assert result.violations == 0, (
+            f"false positive under {model_name}: {service.violations}"
+        )
+        latency = service.metrics.txn_latency.snapshot()
+        results[model_name] = {
+            "committed": result.committed,
+            "retry_exhausted": result.retry_exhausted,
+            "violations": result.violations,
+            "throughput_tps": round(result.throughput, 1),
+            "abort_rate": round(service.metrics.abort_rate, 4),
+            "p50_seconds": latency["p50"],
+            "p99_seconds": latency["p99"],
+        }
+        rows.append(
+            (
+                model_name,
+                result.committed,
+                f"{result.throughput:.0f}",
+                f"{service.metrics.abort_rate:.1%}",
+                result.violations,
+            )
+        )
+    print_table(
+        "Service throughput (SmallBank mix, "
+        f"{WORKERS} workers x {TXNS_PER_WORKER} txns, "
+        f"windowed monitor w={WINDOW})",
+        ["engine", "committed", "txn/s", "abort rate", "violations"],
+        rows,
+    )
+    path = write_bench_json(
+        "service",
+        params={
+            "mix": "smallbank",
+            "workers": WORKERS,
+            "transactions_per_worker": TXNS_PER_WORKER,
+            "window": WINDOW,
+        },
+        results=results,
+    )
+    print(f"bench record written to {path}")
+    # SI must not abort read-only Balance transactions; with retries the
+    # full offered load eventually commits under every engine.
+    for model_name, record in results.items():
+        assert (
+            record["committed"] + record["retry_exhausted"]
+            == WORKERS * TXNS_PER_WORKER
+        )

@@ -12,7 +12,9 @@ reproduces the tables and timing.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+import json
+import os
+from typing import Dict, Iterable, List, Mapping, Sequence
 
 
 def print_table(
@@ -38,3 +40,35 @@ def print_table(
 def bool_mark(flag: bool) -> str:
     """Render a membership flag the way the paper's prose does."""
     return "yes" if flag else "no"
+
+
+def bench_results_dir() -> str:
+    """Where machine-readable bench artifacts go: ``$BENCH_RESULTS_DIR``
+    if set (CI points it at the artifact upload dir), else the CWD."""
+    return os.environ.get("BENCH_RESULTS_DIR") or os.getcwd()
+
+
+def write_bench_json(
+    name: str,
+    params: Mapping[str, object],
+    results: Mapping[str, object],
+) -> str:
+    """Write one bench's machine-readable record as ``BENCH_<name>.json``.
+
+    The document shape is stable across benches so CI can diff runs:
+    ``{"name", "params": {...}, "results": {...}}`` — put throughput,
+    latency quantiles (p50/p99) and rates under ``results``.
+
+    Returns:
+        The path written.
+    """
+    path = os.path.join(bench_results_dir(), f"BENCH_{name}.json")
+    document = {
+        "name": name,
+        "params": dict(params),
+        "results": dict(results),
+    }
+    with open(path, "w") as f:
+        json.dump(document, f, indent=2, sort_keys=True)
+        f.write("\n")
+    return path

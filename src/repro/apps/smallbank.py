@@ -89,6 +89,21 @@ def write_check_program(customer: int) -> Program:
     )
 
 
+MIX_WEIGHTS: Dict[str, int] = {
+    "Balance": 15,
+    "DepositChecking": 25,
+    "TransactSavings": 15,
+    "WriteCheck": 25,
+    "Amalgamate": 20,
+}
+"""Transaction-mix weights (percent) used by the load generator.
+
+SmallBank has no official mix; this one keeps the vulnerable
+``WriteCheck``/``TransactSavings`` pair frequent enough that the write
+skew of the static analysis also shows up dynamically under load.
+"""
+
+
 def smallbank_programs(customers: int = 1) -> List[Program]:
     """The full SmallBank mix over ``customers`` customers (read/write-set
     model, one instance per program; replicate for concurrency)."""

@@ -33,7 +33,7 @@ SI**, reproducing the famous result.  SmallBank stays flagged under both.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Dict, List
 
 from ..chopping.programs import Program, piece, program
 
@@ -100,6 +100,35 @@ def stock_level_program() -> Program:
         piece(reads={DISTRICT, ORDER_LINE, STOCK}, writes=(),
               label="StockLevel"),
     )
+
+
+TABLES = (
+    WAREHOUSE,
+    DISTRICT,
+    CUSTOMER,
+    NEW_ORDER,
+    ORDER,
+    ORDER_LINE,
+    STOCK,
+    ITEM,
+    HISTORY,
+)
+"""All table-granularity objects of the one-warehouse model."""
+
+MIX_WEIGHTS: Dict[str, int] = {
+    "NewOrder": 45,
+    "Payment": 43,
+    "Delivery": 4,
+    "OrderStatus": 4,
+    "StockLevel": 4,
+}
+"""The TPC-C specification's transaction-mix weights (percent)."""
+
+
+def initial_state(value: int = 0) -> Dict[str, int]:
+    """Initial value for every table-granularity object (for running the
+    mix operationally through the MVCC engines)."""
+    return {table: value for table in TABLES}
 
 
 def tpcc_programs() -> List[Program]:

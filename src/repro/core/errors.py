@@ -68,6 +68,26 @@ class TransactionAborted(ReproError):
         self.reason = reason
 
 
+class RetryExhausted(ReproError):
+    """A transaction kept aborting past the service's retry cap.
+
+    The retry discipline of Section 5 assumes an aborted transaction is
+    resubmitted until it commits; a real service must bound that loop.
+    :class:`~repro.service.TransactionService` raises this once the cap
+    is hit, carrying the attempt count and the last abort reason so the
+    caller can distinguish contention collapse from a logic error.
+    """
+
+    def __init__(self, session: str, attempts: int, last_reason: str):
+        super().__init__(
+            f"transaction in session {session!r} aborted {attempts} "
+            f"time(s), exceeding the retry cap; last reason: {last_reason}"
+        )
+        self.session = session
+        self.attempts = attempts
+        self.last_reason = last_reason
+
+
 class StoreError(ReproError):
     """Misuse of the multi-version store or a transaction handle, e.g.
     operating on a transaction that already committed or aborted."""

@@ -6,16 +6,21 @@ Usage (also available as ``python -m repro``)::
     repro-si check-chopping programs.json [--criterion SI|SER|PSI]
     repro-si check-robustness programs.json [--property si-ser|psi-si]
                                [--vulnerable] [--instances N]
+    repro-si serve-bench [--engine SI|SER|PSI|2PL|all] [--mix smallbank|tpcc]
+                          [--workers N] [--txns N] [--window W] [--json FILE]
     repro-si demo [case]
 
 ``check-history`` decides membership of a captured transaction log in the
 requested model class (Theorems 8/9/21 through the membership oracle);
 ``check-chopping`` and ``check-robustness`` run the Section 5/6 static
-analyses on read/write-set descriptions; ``demo`` reproduces a catalog
-anomaly.  See :mod:`repro.io.json_format` for the file formats.
+analyses on read/write-set descriptions; ``serve-bench`` drives a
+transaction mix through the concurrent service with a windowed online
+monitor attached; ``demo`` reproduces a catalog anomaly.  See
+:mod:`repro.io.json_format` for the file formats.
 
 Exit status: 0 when the property holds (history allowed / chopping
-correct / application robust), 1 when it does not, 2 on usage errors.
+correct / application robust / serve-bench violation-free), 1 when it
+does not, 2 on usage errors.
 """
 
 from __future__ import annotations
@@ -155,6 +160,95 @@ def _cmd_dot(args: argparse.Namespace) -> int:
     return 0
 
 
+SERVE_ENGINES = ("SI", "SER", "PSI", "2PL")
+"""Engine keys accepted by ``serve-bench`` (plus ``all``)."""
+
+
+def _serve_engine(key: str, initial):
+    from ..mvcc import PSIEngine, SerializableEngine, SIEngine
+    from ..mvcc.locking import TwoPhaseLockingEngine
+
+    if key == "SI":
+        return SIEngine(initial), "SI"
+    if key == "SER":
+        return SerializableEngine(initial), "SER"
+    if key == "PSI":
+        # Eager propagation: each worker session gets its own replica,
+        # so lazy delivery would just starve every remote read.
+        return PSIEngine(initial, auto_deliver=True), "PSI"
+    if key == "2PL":
+        return TwoPhaseLockingEngine(initial), "SER"
+    raise KeyError(key)
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from ..core.errors import ReproError
+    from ..monitor import WindowedMonitor
+    from ..service import MIXES, LoadGenerator, TransactionService
+
+    engines = SERVE_ENGINES if args.engine == "all" else (args.engine,)
+    report = {
+        "mix": args.mix,
+        "workers": args.workers,
+        "transactions_per_worker": args.txns,
+        "window": args.window,
+        "engines": {},
+    }
+    total_violations = 0
+    for key in engines:
+        mix = MIXES[args.mix]()
+        engine, model = _serve_engine(key, dict(mix.initial))
+        try:
+            monitor = WindowedMonitor(args.window, model, dict(mix.initial))
+            service = TransactionService(
+                engine,
+                monitor,
+                max_concurrent=args.max_concurrent,
+                max_retries=args.max_retries,
+            )
+            result = LoadGenerator(
+                service,
+                mix,
+                workers=args.workers,
+                transactions_per_worker=args.txns,
+                duration=args.duration,
+                seed=args.seed,
+            ).run()
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        total_violations += result.violations
+        metrics = service.metrics.snapshot()
+        report["engines"][key] = {
+            "monitor_model": model,
+            "committed": result.committed,
+            "retry_exhausted": result.retry_exhausted,
+            "violations": result.violations,
+            "throughput_tps": round(result.throughput, 1),
+            "abort_rate": round(service.metrics.abort_rate, 4),
+            "latency_seconds": metrics["latency_seconds"],
+        }
+        print(
+            f"{key:<4} ({model} monitor): "
+            f"{result.committed} committed, "
+            f"{result.retry_exhausted} exhausted, "
+            f"{result.violations} violations, "
+            f"{result.throughput:.0f} txn/s, "
+            f"abort rate {service.metrics.abort_rate:.1%}"
+        )
+    if args.json:
+        with open(args.json, "w") as f:
+            _json.dump(report, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"metrics written to {args.json}")
+    if total_violations:
+        print(f"{total_violations} consistency violation(s) detected")
+        return 1
+    return 0
+
+
 def _cmd_demo(args: argparse.Namespace) -> int:
     if args.case is None:
         print("available cases:")
@@ -256,6 +350,48 @@ def build_parser() -> argparse.ArgumentParser:
         help="write DOT here instead of stdout",
     )
     p_dot.set_defaults(func=_cmd_dot)
+
+    p_serve = sub.add_parser(
+        "serve-bench",
+        help="drive a transaction mix through the concurrent service "
+        "with a windowed online monitor attached",
+    )
+    p_serve.add_argument(
+        "--engine", choices=list(SERVE_ENGINES) + ["all"], default="SI",
+        help="engine under load (2PL certifies against SER)",
+    )
+    p_serve.add_argument(
+        "--mix", choices=["smallbank", "tpcc"], default="smallbank"
+    )
+    p_serve.add_argument(
+        "--workers", type=int, default=8, help="worker threads"
+    )
+    p_serve.add_argument(
+        "--txns", type=int, default=50,
+        help="transactions submitted per worker",
+    )
+    p_serve.add_argument(
+        "--window", type=int, default=64,
+        help="monitor window (retained commits)",
+    )
+    p_serve.add_argument(
+        "--max-concurrent", type=int, default=None,
+        help="admission limit (default: unlimited)",
+    )
+    p_serve.add_argument(
+        "--max-retries", type=int, default=1000,
+        help="resubmissions allowed before a transaction gives up",
+    )
+    p_serve.add_argument(
+        "--duration", type=float, default=None,
+        help="wall-clock cutoff in seconds",
+    )
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write the per-engine metrics report as JSON",
+    )
+    p_serve.set_defaults(func=_cmd_serve_bench)
 
     p_demo = sub.add_parser("demo", help="reproduce a catalog anomaly")
     p_demo.add_argument("case", nargs="?", default=None)

@@ -3,6 +3,8 @@
 :class:`ConsistencyMonitor` watches a stream of committed transactions,
 maintains the dependency graph incrementally, and flags the first commit
 whose accumulated behaviour leaves GraphSI / GraphSER / GraphPSI.
+:class:`WindowedMonitor` adds transaction-window garbage collection so
+the per-commit cost stays bounded under sustained service load.
 """
 
 from .online import (
@@ -11,10 +13,12 @@ from .online import (
     Violation,
     watch_engine,
 )
+from .windowed import WindowedMonitor
 
 __all__ = [
     "ConsistencyMonitor",
     "MonitorError",
     "Violation",
+    "WindowedMonitor",
     "watch_engine",
 ]

@@ -26,8 +26,11 @@ graph so post-mortem extraction is possible.
 
 The per-commit check is a linear-time cycle test over the composite
 relation, so monitoring a run of ``n`` transactions costs ``O(n·(V+E))``
-overall — adequate for test harnesses and the bench; a production
-monitor would add windowing/garbage collection of old transactions.
+overall — adequate for test harnesses and the bench.  For sustained
+production load use :class:`~repro.monitor.windowed.WindowedMonitor`,
+which garbage-collects transactions outside a sliding commit window so
+the per-commit cost stays bounded (at the price of missing cycles that
+span more than a window).
 """
 
 from __future__ import annotations
@@ -114,6 +117,8 @@ class ConsistencyMonitor:
         self._collided: Dict[Obj, Set[Value]] = {}
         # Which version (writer tid) each reader read, per object.
         self._read_version: Dict[Tuple[str, Obj], str] = {}
+        # Per object: the value of the newest committed version.
+        self._latest_value: Dict[Obj, Value] = {}
         # Dependency edges over tids.
         self._so: Set[Tuple[str, str]] = set()
         self._wr: Set[Tuple[str, str]] = set()
@@ -124,6 +129,7 @@ class ConsistencyMonitor:
             for obj, value in initial_values.items():
                 self._writers[obj] = [init_tid]
                 self._value_writer.setdefault(obj, {})[value] = init_tid
+                self._latest_value[obj] = value
 
     # ------------------------------------------------------------------
     # Observation
@@ -156,23 +162,20 @@ class ConsistencyMonitor:
             value = txn.external_read(obj)
             writer = self._attribute_read(tid, obj, value)
             self._read_version[(tid, obj)] = writer
-            if writer != self.init_tid or self._known(writer):
-                if writer != tid:
-                    self._wr.add((writer, tid))
+            if writer != tid and self._in_graph(writer):
+                self._wr.add((writer, tid))
             # RW out of this reader towards every later overwriter of
             # that version (writers after `writer` in the object's order).
-            seq = self._writers.get(obj, [])
-            if writer in seq:
-                for later in seq[seq.index(writer) + 1 :]:
-                    if later != tid:
-                        self._rw.add((tid, later))
+            for later in self._overwriters_of(obj, writer):
+                if later != tid:
+                    self._rw.add((tid, later))
 
         # WW and RW-in for writes: this transaction overwrites the
         # current last version of each object it writes.
         for obj in sorted(txn.written_objects):
             seq = self._writers.setdefault(obj, [])
             for prev in seq:
-                if prev != tid and (prev != self.init_tid or self._known(prev)):
+                if prev != tid and self._in_graph(prev):
                     self._ww.add((prev, tid))
             # Readers of any earlier version of obj gain RW edges to tid.
             for (reader, robj), version in self._read_version.items():
@@ -186,6 +189,7 @@ class ConsistencyMonitor:
             if value in table and table[value] != tid:
                 self._collided.setdefault(obj, set()).add(value)
             table[value] = tid
+            self._latest_value[obj] = value
 
         violation = self._check(tid)
         if violation is not None:
@@ -194,6 +198,21 @@ class ConsistencyMonitor:
 
     def _known(self, tid: str) -> bool:
         return tid in self._records
+
+    def _in_graph(self, tid: str) -> bool:
+        """Whether ``tid`` is a node of the maintained graph — edges to
+        or from other transactions are dropped (the implicit
+        initialisation writer is not a node; a windowing subclass also
+        excludes garbage-collected transactions)."""
+        return tid != self.init_tid or self._known(tid)
+
+    def _overwriters_of(self, obj: Obj, writer: str) -> List[str]:
+        """The retained transactions that overwrote ``writer``'s version
+        of ``obj`` (everything after it in the object's writer order)."""
+        seq = self._writers.get(obj, [])
+        if writer in seq:
+            return seq[seq.index(writer) + 1 :]
+        return []
 
     def _attribute_read(self, tid: str, obj: Obj, value: Value) -> str:
         table = self._value_writer.get(obj, {})

@@ -1,0 +1,185 @@
+"""Windowed online monitoring: bounded-cost certification under load.
+
+:class:`~repro.monitor.online.ConsistencyMonitor` keeps the full
+dependency graph forever, so its per-commit check grows linearly with
+run length — fine for replaying a bench, unusable against a service
+that commits millions of transactions.  :class:`WindowedMonitor` keeps
+only the last ``window`` committed transactions as graph nodes and
+garbage-collects everything older, which bounds both memory and the
+per-commit cycle test by the window size.
+
+Garbage collection is *sound within the window*: eviction only removes
+nodes older than the window together with their incident edges, and
+never touches an edge between two retained transactions.  Hence any
+violating cycle whose transactions all lie within one window is still
+detected, at the same commit as the full monitor would flag
+(``tests/monitor/test_windowed.py`` proves this against the full
+monitor on adversarial streams).  The price is cycles *spanning* more
+than a window: a cycle involving a transaction evicted before the
+cycle closes is missed, so the window must be chosen larger than the
+anomaly horizon of interest (for the MVCC engines: the maximum number
+of commits overlapping any transaction's lifetime).
+
+Version attribution survives eviction: the per-object value table
+keeps the attribution of each object's *current* version even when its
+writer has been evicted (a later reader of that version is then placed
+after the eviction frontier — it gains anti-dependencies to all
+retained overwriters, but no WR edge to the dead node), while
+attributions of superseded versions by evicted writers are dropped.  A
+read of such a dropped version is exactly a read older than the
+window; in strict mode it is reported as unattributable rather than
+silently misclassified.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..core.events import Obj, Op, Value
+from .online import ConsistencyMonitor, MonitorError, Violation
+
+
+class WindowedMonitor(ConsistencyMonitor):
+    """A :class:`ConsistencyMonitor` with transaction-window GC.
+
+    Args:
+        window: how many of the most recent committed transactions to
+            retain as dependency-graph nodes (at least 2).
+        model, initial_values, strict_values, init_tid: as for
+            :class:`ConsistencyMonitor`.
+    """
+
+    def __init__(
+        self,
+        window: int,
+        model: str = "SI",
+        initial_values: Optional[Dict[Obj, Value]] = None,
+        strict_values: bool = True,
+        init_tid: str = "t_init",
+    ):
+        if window < 2:
+            raise MonitorError(
+                f"window must be at least 2 transactions, got {window}"
+            )
+        super().__init__(
+            model=model,
+            initial_values=initial_values,
+            strict_values=strict_values,
+            init_tid=init_tid,
+        )
+        self.window = window
+        self.evicted_count = 0
+        self._evicted: Set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+
+    def observe_commit(
+        self, tid: str, session: str, events: Sequence[Op]
+    ) -> Optional[Violation]:
+        """Feed one committed transaction, then evict beyond the window."""
+        if tid in self._evicted:
+            raise MonitorError(
+                f"transaction {tid!r} observed twice (first occurrence "
+                f"already garbage-collected)"
+            )
+        violation = super().observe_commit(tid, session, events)
+        while len(self._commit_order) > self.window:
+            self._evict(self._commit_order.pop(0))
+        self._prune_evicted_set()
+        return violation
+
+    # ------------------------------------------------------------------
+    # Hook overrides (attribution across the eviction frontier)
+    # ------------------------------------------------------------------
+
+    def _in_graph(self, tid: str) -> bool:
+        return super()._in_graph(tid) and tid not in self._evicted
+
+    def _overwriters_of(self, obj: Obj, writer: str) -> List[str]:
+        if writer in self._evicted:
+            # The evicted writer preceded every retained writer of the
+            # object (eviction follows commit order), so all of them
+            # overwrote its version.  The seeded initialisation writer
+            # is not an overwriter — it precedes everything.
+            return [
+                t
+                for t in self._writers.get(obj, [])
+                if t != self.init_tid
+            ]
+        return super()._overwriters_of(obj, writer)
+
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+
+    def _evict(self, old: str) -> None:
+        """Remove ``old`` and every incident edge from the graph."""
+        record = self._records.pop(old)
+        self._evicted.add(old)
+        self.evicted_count += 1
+        session_tids = self._sessions.get(record.session)
+        if session_tids is not None:
+            if old in session_tids:
+                session_tids.remove(old)
+            if not session_tids:
+                del self._sessions[record.session]
+        for edges in (self._so, self._wr, self._ww, self._rw):
+            edges.difference_update(
+                [(a, b) for a, b in edges if a == old or b == old]
+            )
+        for key in [k for k in self._read_version if k[0] == old]:
+            del self._read_version[key]
+        for obj in record.txn.written_objects:
+            seq = self._writers.get(obj)
+            if seq and old in seq:
+                seq.remove(old)
+            table = self._value_writer.get(obj, {})
+            for value in [v for v, w in table.items() if w == old]:
+                # Keep the attribution of the object's current version
+                # (future reads may still return it); drop superseded
+                # versions — a read of one would be older than the
+                # window anyway.
+                if self._latest_value.get(obj) != value:
+                    del table[value]
+
+    def _prune_evicted_set(self) -> None:
+        """Forget evicted tids nothing references any more, keeping the
+        tombstone set (and so total memory) bounded by the window."""
+        if len(self._evicted) <= self.window + len(self._latest_value):
+            return
+        referenced = set(self._read_version.values())
+        for obj, value in self._latest_value.items():
+            writer = self._value_writer.get(obj, {}).get(value)
+            if writer is not None:
+                referenced.add(writer)
+        self._evicted &= referenced
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def commit_count(self) -> int:
+        """Number of commits observed (including evicted ones)."""
+        return len(self._commit_order) + self.evicted_count
+
+    @property
+    def retained_count(self) -> int:
+        """Number of transactions currently in the graph."""
+        return len(self._commit_order)
+
+    def state_size(self) -> Dict[str, int]:
+        """Rough sizes of the GC-bounded structures (for tests/benches)."""
+        return {
+            "records": len(self._records),
+            "edges": sum(
+                len(s) for s in (self._so, self._wr, self._ww, self._rw)
+            ),
+            "read_versions": len(self._read_version),
+            "value_attributions": sum(
+                len(t) for t in self._value_writer.values()
+            ),
+            "evicted_tombstones": len(self._evicted),
+        }

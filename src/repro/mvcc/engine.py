@@ -13,6 +13,18 @@ The engines are single-process and deterministic: all interleaving is
 decided by the caller (directly or through
 :mod:`repro.mvcc.runtime`'s scheduler), so anomaly runs are replayable.
 
+Thread-safety: every public engine operation (``begin``, ``read``,
+``write``, ``commit``, ``abort``, the reconstruction views) is atomic
+under the engine's reentrant :attr:`BaseEngine.lock`, so an engine may
+be hammered from many threads — each operation is one linearizable
+step, and the interleaving of steps is then decided by the OS scheduler
+instead of a replayable schedule.  Holding :attr:`BaseEngine.lock`
+across several calls makes the whole group atomic; the service layer
+(:mod:`repro.service`) uses this to feed an online monitor in true
+commit order.  The single remaining caller obligation is per-session:
+a session's transactions must be issued sequentially (the engines
+check this), so give each thread its own session.
+
 Transactions follow the client discipline of Section 5: an aborted
 transaction raises :class:`TransactionAborted` and is expected to be
 resubmitted by the client until it commits (the scheduler does this
@@ -23,6 +35,7 @@ from __future__ import annotations
 
 import abc
 import enum
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Set, Tuple
 
@@ -115,6 +128,11 @@ class BaseEngine(abc.ABC):
         self.init_tid = init_tid
         self.stats = EngineStats()
         self.committed: List[CommitRecord] = []
+        self.lock = threading.RLock()
+        """Reentrant lock making each engine operation one atomic step.
+
+        Callers may hold it across several calls to group them into one
+        atomic action (e.g. commit + monitor notification)."""
         self._next_tid = 1
         self._open_sessions: Set[str] = set()
 
@@ -124,13 +142,14 @@ class BaseEngine(abc.ABC):
 
     def begin(self, session: str) -> TxContext:
         """Start a transaction in ``session`` (one at a time per session)."""
-        if session in self._open_sessions:
-            raise StoreError(
-                f"session {session!r} already has an active transaction"
-            )
-        self._open_sessions.add(session)
-        ctx = self._make_context(session)
-        return ctx
+        with self.lock:
+            if session in self._open_sessions:
+                raise StoreError(
+                    f"session {session!r} already has an active transaction"
+                )
+            self._open_sessions.add(session)
+            ctx = self._make_context(session)
+            return ctx
 
     def _allocate_tid(self) -> str:
         tid = f"t{self._next_tid}"
@@ -147,11 +166,12 @@ class BaseEngine(abc.ABC):
 
     def write(self, ctx: TxContext, obj: Obj, value: Value) -> None:
         """Buffer a write of ``value`` to ``obj``."""
-        ctx.ensure_active()
-        if obj not in self.initial:
-            raise StoreError(f"unknown object {obj!r}")
-        ctx.write_buffer[obj] = value
-        ctx.events.append(write_op(obj, value))
+        with self.lock:
+            ctx.ensure_active()
+            if obj not in self.initial:
+                raise StoreError(f"unknown object {obj!r}")
+            ctx.write_buffer[obj] = value
+            ctx.events.append(write_op(obj, value))
 
     @abc.abstractmethod
     def commit(self, ctx: TxContext) -> CommitRecord:
@@ -162,10 +182,11 @@ class BaseEngine(abc.ABC):
     def abort(self, ctx: TxContext, reason: str = "client abort") -> None:
         """Abort an active transaction (also used internally on
         validation failure)."""
-        ctx.ensure_active()
-        ctx.status = TxStatus.ABORTED
-        self._open_sessions.discard(ctx.session)
-        self.stats.record_abort(reason)
+        with self.lock:
+            ctx.ensure_active()
+            ctx.status = TxStatus.ABORTED
+            self._open_sessions.discard(ctx.session)
+            self.stats.record_abort(reason)
 
     def _finish_commit(self, ctx: TxContext, record: CommitRecord) -> None:
         ctx.status = TxStatus.COMMITTED
@@ -203,7 +224,9 @@ class BaseEngine(abc.ABC):
         """
         sessions: Dict[str, List[Transaction]] = {}
         order: List[str] = []
-        for rec in self.committed:
+        with self.lock:
+            committed = list(self.committed)
+        for rec in committed:
             t = Transaction(
                 rec.tid,
                 tuple(
@@ -226,11 +249,12 @@ class BaseEngine(abc.ABC):
         initialisation transaction, visible to everyone); CO follows the
         engine's commit timestamps.
         """
-        h = self.history()
+        with self.lock:
+            h = self.history()
+            records = sorted(self.committed, key=lambda r: r.commit_ts)
         by_tid = {t.tid: t for t in h.transactions}
         init = by_tid[self.init_tid]
         vis: Set[Tuple[Transaction, Transaction]] = set()
-        records = sorted(self.committed, key=lambda r: r.commit_ts)
         co_sequence = [init] + [by_tid[r.tid] for r in records]
         for rec in records:
             s = by_tid[rec.tid]

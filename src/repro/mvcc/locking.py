@@ -102,47 +102,51 @@ class TwoPhaseLockingEngine(BaseEngine):
     def read(self, ctx: TxContext, obj: Obj) -> Value:
         """Acquire a shared lock, then read the latest committed value
         (own buffered writes first)."""
-        ctx.ensure_active()
-        if obj in ctx.write_buffer:
-            return self._record_read(ctx, obj, ctx.write_buffer[obj])
-        if not self.locks.acquire(ctx.tid, obj, LockMode.SHARED):
-            raise self._lock_failure(ctx, obj, LockMode.SHARED)
-        version = self.store.latest(obj)
-        return self._record_read(ctx, obj, version.value)
+        with self.lock:
+            ctx.ensure_active()
+            if obj in ctx.write_buffer:
+                return self._record_read(ctx, obj, ctx.write_buffer[obj])
+            if not self.locks.acquire(ctx.tid, obj, LockMode.SHARED):
+                raise self._lock_failure(ctx, obj, LockMode.SHARED)
+            version = self.store.latest(obj)
+            return self._record_read(ctx, obj, version.value)
 
     def write(self, ctx: TxContext, obj: Obj, value: Value) -> None:
         """Acquire an exclusive lock, then buffer the write."""
-        ctx.ensure_active()
-        if not self.locks.acquire(ctx.tid, obj, LockMode.EXCLUSIVE):
-            raise self._lock_failure(ctx, obj, LockMode.EXCLUSIVE)
-        super().write(ctx, obj, value)
+        with self.lock:
+            ctx.ensure_active()
+            if not self.locks.acquire(ctx.tid, obj, LockMode.EXCLUSIVE):
+                raise self._lock_failure(ctx, obj, LockMode.EXCLUSIVE)
+            super().write(ctx, obj, value)
 
     def commit(self, ctx: TxContext) -> CommitRecord:
         """Install the writes and release all locks (strictness)."""
-        ctx.ensure_active()
-        self._clock += 1
-        commit_ts = self._clock
-        if ctx.write_buffer:
-            self.store.install(ctx.write_buffer, commit_ts, ctx.tid)
-        record = CommitRecord(
-            tid=ctx.tid,
-            session=ctx.session,
-            start_ts=ctx.start_ts,
-            commit_ts=commit_ts,
-            events=tuple(ctx.events),
-            writes=dict(ctx.write_buffer),
-            # Under strict 2PL a committed transaction logically observed
-            # everything that committed before it.
-            visible_tids=frozenset(rec.tid for rec in self.committed),
-        )
-        self.locks.release_all(ctx.tid)
-        self._finish_commit(ctx, record)
-        return record
+        with self.lock:
+            ctx.ensure_active()
+            self._clock += 1
+            commit_ts = self._clock
+            if ctx.write_buffer:
+                self.store.install(ctx.write_buffer, commit_ts, ctx.tid)
+            record = CommitRecord(
+                tid=ctx.tid,
+                session=ctx.session,
+                start_ts=ctx.start_ts,
+                commit_ts=commit_ts,
+                events=tuple(ctx.events),
+                writes=dict(ctx.write_buffer),
+                # Under strict 2PL a committed transaction logically
+                # observed everything that committed before it.
+                visible_tids=frozenset(rec.tid for rec in self.committed),
+            )
+            self.locks.release_all(ctx.tid)
+            self._finish_commit(ctx, record)
+            return record
 
     def abort(self, ctx: TxContext, reason: str = "client abort") -> None:
         """Abort and release every held lock (strictness)."""
-        self.locks.release_all(ctx.tid)
-        super().abort(ctx, reason)
+        with self.lock:
+            self.locks.release_all(ctx.tid)
+            super().abort(ctx, reason)
 
     def _lock_failure(
         self, ctx: TxContext, obj: Obj, mode: LockMode

@@ -80,17 +80,18 @@ class PSIEngine(BaseEngine):
 
     def replica_of(self, session: str) -> Replica:
         """The replica serving ``session`` (created on first use)."""
-        name = self._session_replicas.get(session, f"r_{session}")
-        self._session_replicas[session] = name
-        if name not in self._replicas:
-            self._replicas[name] = Replica(name, dict(self.initial))
-            # A replica created after some commits must still receive
-            # them: backfill its delivery queue.
-            for tid in self._records_by_tid:
-                self._pending.add((tid, name))
-            if self.auto_deliver:
-                self.deliver_all()
-        return self._replicas[name]
+        with self.lock:
+            name = self._session_replicas.get(session, f"r_{session}")
+            self._session_replicas[session] = name
+            if name not in self._replicas:
+                self._replicas[name] = Replica(name, dict(self.initial))
+                # A replica created after some commits must still receive
+                # them: backfill its delivery queue.
+                for tid in self._records_by_tid:
+                    self._pending.add((tid, name))
+                if self.auto_deliver:
+                    self.deliver_all()
+            return self._replicas[name]
 
     @property
     def replicas(self) -> Dict[str, Replica]:
@@ -114,16 +115,21 @@ class PSIEngine(BaseEngine):
 
     def read(self, ctx: TxContext, obj: Obj) -> Value:
         """Read from the write buffer, else from the replica snapshot."""
-        ctx.ensure_active()
-        if obj in ctx.write_buffer:
-            return self._record_read(ctx, obj, ctx.write_buffer[obj])
-        snapshot, _ = self._snapshots[ctx.tid]
-        if obj not in snapshot:
-            raise StoreError(f"unknown object {obj!r}")
-        return self._record_read(ctx, obj, snapshot[obj])
+        with self.lock:
+            ctx.ensure_active()
+            if obj in ctx.write_buffer:
+                return self._record_read(ctx, obj, ctx.write_buffer[obj])
+            snapshot, _ = self._snapshots[ctx.tid]
+            if obj not in snapshot:
+                raise StoreError(f"unknown object {obj!r}")
+            return self._record_read(ctx, obj, snapshot[obj])
 
     def commit(self, ctx: TxContext) -> CommitRecord:
         """Global NOCONFLICT validation, local apply, queue propagation."""
+        with self.lock:
+            return self._commit_locked(ctx)
+
+    def _commit_locked(self, ctx: TxContext) -> CommitRecord:
         ctx.ensure_active()
         _, visible = self._snapshots[ctx.tid]
         for obj in sorted(ctx.write_buffer):
@@ -161,8 +167,9 @@ class PSIEngine(BaseEngine):
 
     def abort(self, ctx: TxContext, reason: str = "client abort") -> None:
         """Abort and discard the replica snapshot."""
-        super().abort(ctx, reason)
-        self._snapshots.pop(ctx.tid, None)
+        with self.lock:
+            super().abort(ctx, reason)
+            self._snapshots.pop(ctx.tid, None)
 
     # ------------------------------------------------------------------
     # Propagation
@@ -188,20 +195,24 @@ class PSIEngine(BaseEngine):
             ScheduleError: if the delivery is not pending or would violate
                 causality.
         """
-        if (tid, replica_name) not in self._pending:
-            raise ScheduleError(
-                f"no pending delivery of {tid} to {replica_name}"
+        with self.lock:
+            if (tid, replica_name) not in self._pending:
+                raise ScheduleError(
+                    f"no pending delivery of {tid} to {replica_name}"
+                )
+            if not self.deliverable(tid, replica_name):
+                raise ScheduleError(
+                    f"delivery of {tid} to {replica_name} violates causality"
+                )
+            self._apply(
+                self._records_by_tid[tid], self._replicas[replica_name]
             )
-        if not self.deliverable(tid, replica_name):
-            raise ScheduleError(
-                f"delivery of {tid} to {replica_name} violates causality"
-            )
-        self._apply(self._records_by_tid[tid], self._replicas[replica_name])
-        self._pending.discard((tid, replica_name))
+            self._pending.discard((tid, replica_name))
 
     def pending_deliveries(self) -> List[Tuple[str, str]]:
         """Pending (tid, replica) deliveries, deterministic order."""
-        return sorted(self._pending)
+        with self.lock:
+            return sorted(self._pending)
 
     def deliverable_deliveries(self) -> List[Tuple[str, str]]:
         """Pending deliveries whose causal preconditions are met."""
@@ -214,12 +225,13 @@ class PSIEngine(BaseEngine):
     def deliver_all(self) -> int:
         """Drain the delivery queue (respecting causality); returns the
         number of deliveries performed."""
-        count = 0
-        progressed = True
-        while progressed:
-            progressed = False
-            for tid, name in self.deliverable_deliveries():
-                self.deliver(tid, name)
-                count += 1
-                progressed = True
-        return count
+        with self.lock:
+            count = 0
+            progressed = True
+            while progressed:
+                progressed = False
+                for tid, name in self.deliverable_deliveries():
+                    self.deliver(tid, name)
+                    count += 1
+                    progressed = True
+            return count

@@ -36,22 +36,31 @@ class SerializableEngine(SIEngine):
 
     def read(self, ctx: TxContext, obj: Obj) -> Value:
         """Snapshot read, additionally tracked for commit validation."""
-        value = super().read(ctx, obj)
-        self._read_sets[ctx.tid].add(obj)
-        return value
+        with self.lock:
+            value = super().read(ctx, obj)
+            self._read_sets[ctx.tid].add(obj)
+            return value
 
     def commit(self, ctx: TxContext) -> CommitRecord:
         """Validate the read set, then fall back to SI's commit."""
-        ctx.ensure_active()
-        read_set: Set[Obj] = self._read_sets.get(ctx.tid, set())
-        for obj in sorted(read_set - set(ctx.write_buffer)):
-            if self.store.modified_since(obj, ctx.start_ts):
-                raise self._validation_failure(
-                    ctx,
-                    f"read-write conflict on {obj!r} "
-                    f"(snapshot no longer current)",
-                )
-        try:
-            return super().commit(ctx)
-        finally:
+        with self.lock:
+            ctx.ensure_active()
+            read_set: Set[Obj] = self._read_sets.get(ctx.tid, set())
+            for obj in sorted(read_set - set(ctx.write_buffer)):
+                if self.store.modified_since(obj, ctx.start_ts):
+                    raise self._validation_failure(
+                        ctx,
+                        f"read-write conflict on {obj!r} "
+                        f"(snapshot no longer current)",
+                    )
+            try:
+                return super().commit(ctx)
+            finally:
+                self._read_sets.pop(ctx.tid, None)
+
+    def abort(self, ctx: TxContext, reason: str = "client abort") -> None:
+        """Abort and drop the tracked read set (it would otherwise leak
+        under a long-running service's abort/retry churn)."""
+        with self.lock:
             self._read_sets.pop(ctx.tid, None)
+            super().abort(ctx, reason)

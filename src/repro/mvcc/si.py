@@ -62,14 +62,17 @@ class SIEngine(BaseEngine):
         A read that needs a vacuumed version aborts the transaction
         (snapshot too old); the client retries with a fresh snapshot.
         """
-        ctx.ensure_active()
-        if obj in ctx.write_buffer:
-            return self._record_read(ctx, obj, ctx.write_buffer[obj])
-        try:
-            version = self.store.read_at(obj, ctx.start_ts)
-        except SnapshotTooOld as exc:
-            raise self._validation_failure(ctx, f"snapshot too old: {exc}")
-        return self._record_read(ctx, obj, version.value)
+        with self.lock:
+            ctx.ensure_active()
+            if obj in ctx.write_buffer:
+                return self._record_read(ctx, obj, ctx.write_buffer[obj])
+            try:
+                version = self.store.read_at(obj, ctx.start_ts)
+            except SnapshotTooOld as exc:
+                raise self._validation_failure(
+                    ctx, f"snapshot too old: {exc}"
+                )
+            return self._record_read(ctx, obj, version.value)
 
     # ------------------------------------------------------------------
     # Garbage collection
@@ -85,43 +88,46 @@ class SIEngine(BaseEngine):
         transactions may subsequently abort with "snapshot too old",
         reproducing the classic MVCC trade-off.
         """
-        if aggressive or not self._active_start_ts:
-            horizon = self._clock
-        else:
-            horizon = min(self._active_start_ts.values())
-        return self.store.vacuum(horizon)
+        with self.lock:
+            if aggressive or not self._active_start_ts:
+                horizon = self._clock
+            else:
+                horizon = min(self._active_start_ts.values())
+            return self.store.vacuum(horizon)
 
     def abort(self, ctx: TxContext, reason: str = "client abort") -> None:
         """Abort and release the snapshot's vacuum pin."""
-        self._active_start_ts.pop(ctx.tid, None)
-        super().abort(ctx, reason)
+        with self.lock:
+            self._active_start_ts.pop(ctx.tid, None)
+            super().abort(ctx, reason)
 
     def commit(self, ctx: TxContext) -> CommitRecord:
         """First-committer-wins validation, then atomic install."""
-        ctx.ensure_active()
-        self._active_start_ts.pop(ctx.tid, None)
-        for obj in sorted(ctx.write_buffer):
-            if self.store.modified_since(obj, ctx.start_ts):
-                raise self._validation_failure(
-                    ctx,
-                    f"write-write conflict on {obj!r} "
-                    f"(first committer wins)",
-                )
-        self._clock += 1
-        commit_ts = self._clock
-        if ctx.write_buffer:
-            self.store.install(ctx.write_buffer, commit_ts, ctx.tid)
-        record = CommitRecord(
-            tid=ctx.tid,
-            session=ctx.session,
-            start_ts=ctx.start_ts,
-            commit_ts=commit_ts,
-            events=tuple(ctx.events),
-            writes=dict(ctx.write_buffer),
-            visible_tids=self._visible_tids(ctx.start_ts),
-        )
-        self._finish_commit(ctx, record)
-        return record
+        with self.lock:
+            ctx.ensure_active()
+            self._active_start_ts.pop(ctx.tid, None)
+            for obj in sorted(ctx.write_buffer):
+                if self.store.modified_since(obj, ctx.start_ts):
+                    raise self._validation_failure(
+                        ctx,
+                        f"write-write conflict on {obj!r} "
+                        f"(first committer wins)",
+                    )
+            self._clock += 1
+            commit_ts = self._clock
+            if ctx.write_buffer:
+                self.store.install(ctx.write_buffer, commit_ts, ctx.tid)
+            record = CommitRecord(
+                tid=ctx.tid,
+                session=ctx.session,
+                start_ts=ctx.start_ts,
+                commit_ts=commit_ts,
+                events=tuple(ctx.events),
+                writes=dict(ctx.write_buffer),
+                visible_tids=self._visible_tids(ctx.start_ts),
+            )
+            self._finish_commit(ctx, record)
+            return record
 
     # ------------------------------------------------------------------
     # Internals

@@ -1,0 +1,37 @@
+"""The concurrent transaction service (Section 5 made operational).
+
+Everything below this package runs transactions one caller-scheduled
+step at a time; here the reproduction serves real concurrent traffic:
+:class:`TransactionService` fronts one MVCC engine with per-client
+sessions, bounded retry-with-backoff, an admission limit, online
+certification via an attached (typically windowed) monitor, and
+JSON-exportable metrics.  :mod:`~repro.service.loadgen` drives
+SmallBank/TPC-C-style mixes over worker threads.
+"""
+
+from .loadgen import (
+    MIXES,
+    LoadGenerator,
+    LoadResult,
+    ValueTagger,
+    WorkloadMix,
+    smallbank_mix,
+    tpcc_mix,
+)
+from .metrics import LatencyHistogram, ServiceMetrics
+from .service import ServiceSession, TransactionService, TxOutcome
+
+__all__ = [
+    "LatencyHistogram",
+    "LoadGenerator",
+    "LoadResult",
+    "MIXES",
+    "ServiceMetrics",
+    "ServiceSession",
+    "TransactionService",
+    "TxOutcome",
+    "ValueTagger",
+    "WorkloadMix",
+    "smallbank_mix",
+    "tpcc_mix",
+]

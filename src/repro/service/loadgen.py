@@ -1,0 +1,369 @@
+"""A multi-threaded load generator for the transaction service.
+
+Drives SmallBank- and TPC-C-style transaction mixes over N worker
+threads, each with its own :class:`~repro.service.service.ServiceSession`
+following the retry discipline.  The interesting wrinkle is *value
+tagging*: the online monitor attributes reads to writers by value, and
+bank-balance arithmetic happily produces the same integer twice (two
+deposits of 10 into accounts holding 100).  Every write therefore goes
+through a :class:`ValueTagger` that pairs the logical value with a
+globally unique sequence number — the same trick the deterministic
+:func:`~repro.mvcc.workloads.random_workload` uses — so strict
+attribution never becomes ambiguous and any violation the monitor
+flags under the generator is a real one.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..apps import smallbank, tpcc
+from ..core.errors import RetryExhausted, StoreError
+from ..core.events import Obj, Value
+from ..mvcc.runtime import ReadOp, TxProgram, WriteOp
+from .service import TransactionService
+
+
+class ValueTagger:
+    """Makes every written value globally unique.
+
+    :meth:`tag` wraps a logical value as ``(logical, seq)`` with a
+    process-unique ``seq``; :meth:`logical` unwraps either form.  The
+    monitor sees distinct values per write, the workload still computes
+    with the logical part.
+    """
+
+    def __init__(self) -> None:
+        self._counter = itertools.count(1)
+        self._lock = threading.Lock()
+
+    def tag(self, logical: Value) -> Tuple[Value, int]:
+        """Wrap ``logical`` with a fresh unique sequence number."""
+        with self._lock:
+            return (logical, next(self._counter))
+
+    @staticmethod
+    def logical(value: Value) -> Value:
+        """The logical part of a possibly tagged value (initial values
+        are plain, written values are ``(logical, seq)`` pairs)."""
+        if isinstance(value, tuple) and len(value) == 2:
+            return value[0]
+        return value
+
+
+ProgramFactory = Callable[[random.Random], TxProgram]
+
+
+class WorkloadMix:
+    """A named, weighted distribution over transaction programs.
+
+    Args:
+        name: mix name (appears in results and bench output).
+        initial: initial object values for the engine and monitor.
+        choices: ``{label: (weight, factory)}`` where ``factory(rng)``
+            builds one fresh transaction program.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        initial: Dict[Obj, Value],
+        choices: Dict[str, Tuple[int, ProgramFactory]],
+    ):
+        if not choices:
+            raise StoreError(f"mix {name!r} has no transaction types")
+        self.name = name
+        self.initial = dict(initial)
+        self._labels = list(choices)
+        self._weights = [choices[label][0] for label in self._labels]
+        self._factories = [choices[label][1] for label in self._labels]
+
+    def next_program(self, rng: random.Random) -> TxProgram:
+        """Draw one transaction program according to the weights."""
+        index = rng.choices(range(len(self._labels)), self._weights)[0]
+        return self._factories[index](rng)
+
+
+# ----------------------------------------------------------------------
+# SmallBank mix (operational, value-tagged)
+# ----------------------------------------------------------------------
+
+
+def smallbank_mix(customers: int = 4, balance: int = 100) -> WorkloadMix:
+    """The SmallBank transaction mix over ``customers`` customers.
+
+    Logical semantics follow :mod:`repro.apps.smallbank`'s operational
+    programs; every write is value-tagged for unambiguous monitor
+    attribution.
+    """
+    if customers < 1:
+        raise StoreError(f"need at least one customer, got {customers}")
+    tagger = ValueTagger()
+    logical = ValueTagger.logical
+
+    def balance_f(rng: random.Random) -> TxProgram:
+        n = rng.randrange(customers)
+
+        def tx():
+            yield ReadOp(smallbank.savings(n))
+            yield ReadOp(smallbank.checking(n))
+
+        return tx
+
+    def deposit_checking_f(rng: random.Random) -> TxProgram:
+        n = rng.randrange(customers)
+        amount = rng.randint(1, 50)
+
+        def tx():
+            value = yield ReadOp(smallbank.checking(n))
+            yield WriteOp(
+                smallbank.checking(n), tagger.tag(logical(value) + amount)
+            )
+
+        return tx
+
+    def transact_savings_f(rng: random.Random) -> TxProgram:
+        n = rng.randrange(customers)
+        amount = rng.randint(-60, 60) or 10
+
+        def tx():
+            value = yield ReadOp(smallbank.savings(n))
+            if logical(value) + amount >= 0:
+                yield WriteOp(
+                    smallbank.savings(n),
+                    tagger.tag(logical(value) + amount),
+                )
+
+        return tx
+
+    def write_check_f(rng: random.Random) -> TxProgram:
+        n = rng.randrange(customers)
+        amount = rng.randint(1, 120)
+
+        def tx():
+            s = yield ReadOp(smallbank.savings(n))
+            c = yield ReadOp(smallbank.checking(n))
+            total = logical(s) + logical(c)
+            penalty = 0 if total >= amount else 1
+            yield WriteOp(
+                smallbank.checking(n),
+                tagger.tag(logical(c) - amount - penalty),
+            )
+
+        return tx
+
+    def amalgamate_f(rng: random.Random) -> TxProgram:
+        src = rng.randrange(customers)
+        dst = (src + 1) % customers if customers > 1 else src
+
+        def tx():
+            s = yield ReadOp(smallbank.savings(src))
+            c = yield ReadOp(smallbank.checking(src))
+            d = yield ReadOp(smallbank.checking(dst))
+            yield WriteOp(smallbank.savings(src), tagger.tag(0))
+            yield WriteOp(smallbank.checking(src), tagger.tag(0))
+            yield WriteOp(
+                smallbank.checking(dst),
+                tagger.tag(logical(d) + logical(s) + logical(c)),
+            )
+
+        return tx
+
+    factories = {
+        "Balance": balance_f,
+        "DepositChecking": deposit_checking_f,
+        "TransactSavings": transact_savings_f,
+        "WriteCheck": write_check_f,
+        "Amalgamate": amalgamate_f,
+    }
+    return WorkloadMix(
+        name="smallbank",
+        initial=smallbank.initial_state(customers, balance),
+        choices={
+            label: (smallbank.MIX_WEIGHTS[label], factory)
+            for label, factory in factories.items()
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# TPC-C mix (table granularity, operational, value-tagged)
+# ----------------------------------------------------------------------
+
+
+def tpcc_mix() -> WorkloadMix:
+    """The TPC-C mix at table granularity (one warehouse/district).
+
+    Read/write sets follow :mod:`repro.apps.tpcc`; a table that is both
+    read and written becomes a read-modify-write (logical increment), a
+    written-only table a value-tagged blind write.
+    """
+    tagger = ValueTagger()
+    logical = ValueTagger.logical
+
+    def factory_for(program) -> ProgramFactory:
+        piece = program.pieces[0]
+        reads = sorted(piece.reads)
+        writes = sorted(piece.writes)
+        read_set = set(reads)
+
+        def factory(rng: random.Random) -> TxProgram:
+            def tx():
+                seen: Dict[str, Value] = {}
+                for table in reads:
+                    seen[table] = yield ReadOp(table)
+                for table in writes:
+                    if table in read_set:
+                        new = logical(seen[table]) + 1
+                    else:
+                        new = 0
+                    yield WriteOp(table, tagger.tag(new))
+
+            return tx
+
+        return factory
+
+    choices: Dict[str, Tuple[int, ProgramFactory]] = {}
+    for program in tpcc.tpcc_programs():
+        choices[program.name] = (
+            tpcc.MIX_WEIGHTS[program.name],
+            factory_for(program),
+        )
+    return WorkloadMix(
+        name="tpcc", initial=tpcc.initial_state(), choices=choices
+    )
+
+
+MIXES: Dict[str, Callable[[], WorkloadMix]] = {
+    "smallbank": smallbank_mix,
+    "tpcc": tpcc_mix,
+}
+"""The named mixes the CLI and benches can ask for."""
+
+
+# ----------------------------------------------------------------------
+# The generator
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LoadResult:
+    """The outcome of one load run.
+
+    Attributes:
+        mix: name of the workload mix.
+        workers: worker-thread count.
+        committed: transactions that eventually committed.
+        retry_exhausted: transactions abandoned past the retry cap.
+        violations: monitor violations recorded during the run.
+        elapsed_seconds: wall-clock duration of the run.
+    """
+
+    mix: str
+    workers: int
+    committed: int
+    retry_exhausted: int
+    violations: int
+    elapsed_seconds: float
+
+    @property
+    def throughput(self) -> float:
+        """Committed transactions per second."""
+        if self.elapsed_seconds <= 0:
+            return 0.0
+        return self.committed / self.elapsed_seconds
+
+
+class LoadGenerator:
+    """Drives a :class:`TransactionService` with concurrent workers.
+
+    Args:
+        service: the service under load (its engine must have been
+            seeded with ``mix.initial``).
+        mix: the workload mix to draw transactions from.
+        workers: number of worker threads (each gets its own session).
+        transactions_per_worker: transactions each worker submits.
+        duration: optional wall-clock cutoff in seconds — workers stop
+            drawing new transactions once it elapses, even if they have
+            submissions left.
+        seed: seeds the per-worker RNG streams (runs are reproducible
+            up to thread scheduling).
+    """
+
+    def __init__(
+        self,
+        service: TransactionService,
+        mix: WorkloadMix,
+        workers: int = 8,
+        transactions_per_worker: int = 50,
+        duration: Optional[float] = None,
+        seed: int = 0,
+    ):
+        if workers < 1:
+            raise StoreError(f"need at least one worker, got {workers}")
+        if transactions_per_worker < 1:
+            raise StoreError(
+                "need at least one transaction per worker, got "
+                f"{transactions_per_worker}"
+            )
+        self.service = service
+        self.mix = mix
+        self.workers = workers
+        self.transactions_per_worker = transactions_per_worker
+        self.duration = duration
+        self.seed = seed
+
+    def run(self) -> LoadResult:
+        """Run the load to completion and summarise it."""
+        committed = [0] * self.workers
+        exhausted = [0] * self.workers
+        errors: List[BaseException] = []
+        barrier = threading.Barrier(self.workers + 1)
+        deadline_holder: List[float] = []
+
+        def worker(index: int) -> None:
+            rng = random.Random(f"{self.seed}:{self.mix.name}:{index}")
+            session = self.service.session(f"worker-{index}")
+            barrier.wait()
+            deadline = deadline_holder[0] if deadline_holder else None
+            for _ in range(self.transactions_per_worker):
+                if deadline is not None and time.perf_counter() > deadline:
+                    break
+                program = self.mix.next_program(rng)
+                try:
+                    session.run(program)
+                    committed[index] += 1
+                except RetryExhausted:
+                    exhausted[index] += 1
+                except BaseException as exc:  # surface, don't swallow
+                    errors.append(exc)
+                    break
+
+        threads = [
+            threading.Thread(target=worker, args=(i,), daemon=True)
+            for i in range(self.workers)
+        ]
+        for thread in threads:
+            thread.start()
+        if self.duration is not None:
+            deadline_holder.append(time.perf_counter() + self.duration)
+        started = time.perf_counter()
+        barrier.wait()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - started
+        if errors:
+            raise errors[0]
+        return LoadResult(
+            mix=self.mix.name,
+            workers=self.workers,
+            committed=sum(committed),
+            retry_exhausted=sum(exhausted),
+            violations=len(self.service.violations),
+            elapsed_seconds=elapsed,
+        )

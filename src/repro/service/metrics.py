@@ -1,0 +1,191 @@
+"""Observability for the transaction service.
+
+The service layer is the first place the reproduction meets sustained
+concurrent traffic, so it carries its own instrumentation: per-service
+counters (commits, aborts, retries, retry exhaustions, monitor
+violations), a fixed-bucket latency histogram for end-to-end
+transaction latency (including retries), and admission-queue gauges.
+Everything is thread-safe, snapshot-able as plain dicts, and JSON
+exportable so benches and CI can track the numbers across PRs.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from bisect import bisect_left
+from typing import Dict, List, Optional, Sequence
+
+
+def _default_buckets() -> List[float]:
+    # 10 µs .. ~84 s in powers of two: 24 buckets cover every latency a
+    # single-process service can plausibly produce.
+    return [1e-5 * 2**i for i in range(24)]
+
+
+class LatencyHistogram:
+    """A fixed-boundary histogram of durations in seconds.
+
+    Quantiles are answered from the bucket counts (the reported value is
+    the upper bound of the bucket containing the quantile), which makes
+    recording O(log buckets) and memory O(buckets) — no samples kept.
+    """
+
+    def __init__(self, buckets: Optional[Sequence[float]] = None):
+        self._bounds = sorted(buckets) if buckets else _default_buckets()
+        self._counts = [0] * (len(self._bounds) + 1)
+        self._lock = threading.Lock()
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def record(self, seconds: float) -> None:
+        """Record one duration."""
+        index = bisect_left(self._bounds, seconds)
+        with self._lock:
+            self._counts[index] += 1
+            self.count += 1
+            self.total += seconds
+            if seconds > self.max:
+                self.max = seconds
+
+    def quantile(self, q: float) -> float:
+        """The ``q``-quantile (0 < q <= 1) as a bucket upper bound."""
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            target = q * self.count
+            cumulative = 0
+            for index, bucket_count in enumerate(self._counts):
+                cumulative += bucket_count
+                if cumulative >= target:
+                    if index < len(self._bounds):
+                        return self._bounds[index]
+                    return self.max
+            return self.max
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the recorded durations."""
+        with self._lock:
+            return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        """Summary statistics as a plain dict (seconds)."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "p50": self.quantile(0.50),
+            "p90": self.quantile(0.90),
+            "p99": self.quantile(0.99),
+            "max": self.max,
+        }
+
+
+class ServiceMetrics:
+    """Thread-safe counters and gauges for one transaction service."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.begins = 0
+        self.commits = 0
+        self.aborts = 0
+        self.retries = 0
+        self.retry_exhausted = 0
+        self.violations = 0
+        self.in_flight = 0
+        self.admission_waiting = 0
+        self.peak_in_flight = 0
+        self.peak_admission_waiting = 0
+        self.txn_latency = LatencyHistogram()
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def record_begin(self) -> None:
+        """One transaction attempt admitted and started."""
+        with self._lock:
+            self.begins += 1
+            self.in_flight += 1
+            if self.in_flight > self.peak_in_flight:
+                self.peak_in_flight = self.in_flight
+
+    def record_commit(self, latency_seconds: float) -> None:
+        """One transaction committed; latency is end-to-end including
+        every aborted attempt and backoff sleep."""
+        with self._lock:
+            self.commits += 1
+            self.in_flight -= 1
+        self.txn_latency.record(latency_seconds)
+
+    def record_abort(self) -> None:
+        """One attempt aborted (engine validation failure or client)."""
+        with self._lock:
+            self.aborts += 1
+            self.in_flight -= 1
+
+    def record_retry(self) -> None:
+        """An aborted transaction is being resubmitted."""
+        with self._lock:
+            self.retries += 1
+
+    def record_retry_exhausted(self) -> None:
+        """A transaction gave up after the retry cap."""
+        with self._lock:
+            self.retry_exhausted += 1
+
+    def record_violation(self) -> None:
+        """The attached monitor flagged a consistency violation."""
+        with self._lock:
+            self.violations += 1
+
+    def enter_admission_queue(self) -> None:
+        """A client started waiting for an admission slot."""
+        with self._lock:
+            self.admission_waiting += 1
+            if self.admission_waiting > self.peak_admission_waiting:
+                self.peak_admission_waiting = self.admission_waiting
+
+    def leave_admission_queue(self) -> None:
+        """A waiting client was admitted (or gave up)."""
+        with self._lock:
+            self.admission_waiting -= 1
+
+    # ------------------------------------------------------------------
+    # Export
+    # ------------------------------------------------------------------
+
+    @property
+    def abort_rate(self) -> float:
+        """Aborted attempts over all finished attempts."""
+        finished = self.commits + self.aborts
+        return self.aborts / finished if finished else 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        """All counters, gauges and latency stats as a plain dict."""
+        with self._lock:
+            counters = {
+                "begins": self.begins,
+                "commits": self.commits,
+                "aborts": self.aborts,
+                "retries": self.retries,
+                "retry_exhausted": self.retry_exhausted,
+                "violations": self.violations,
+            }
+            gauges = {
+                "in_flight": self.in_flight,
+                "admission_waiting": self.admission_waiting,
+                "peak_in_flight": self.peak_in_flight,
+                "peak_admission_waiting": self.peak_admission_waiting,
+            }
+        return {
+            "counters": counters,
+            "gauges": gauges,
+            "abort_rate": self.abort_rate,
+            "latency_seconds": self.txn_latency.snapshot(),
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """The snapshot as a JSON document."""
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)

@@ -1,0 +1,351 @@
+"""A thread-safe concurrent transaction service over the MVCC engines.
+
+Everything below the service is caller-scheduled and deterministic; the
+service is where the reproduction starts *serving* concurrent traffic.
+It wraps any :class:`~repro.mvcc.engine.BaseEngine` behind per-client
+session handles with:
+
+* **begin/read/write/commit/abort** passing through the engine's
+  operation-level atomicity (:attr:`BaseEngine.lock`);
+* **automatic retry with exponential backoff** of aborted transactions
+  (:meth:`ServiceSession.run`) — the client discipline of Section 5,
+  bounded by a retry cap that raises
+  :class:`~repro.core.errors.RetryExhausted` instead of livelocking;
+* an **admission limit**: at most ``max_concurrent`` transactions in
+  flight, the rest queueing on a semaphore (queue depth is metered);
+* optional **in-line certification**: an attached
+  :class:`~repro.monitor.online.ConsistencyMonitor` (typically the
+  windowed variant) observes every commit *in true commit order* — the
+  engine lock is held across commit + observation, so the monitor sees
+  exactly the order the engine decided;
+* :class:`~repro.service.metrics.ServiceMetrics` counting commits,
+  aborts, retries and latency histograms, JSON-exportable.
+
+Sessions map 1:1 onto engine sessions: a handle is meant to be driven
+by one thread at a time (the engines enforce one active transaction per
+session), so give each worker thread its own handle via
+:meth:`TransactionService.session`.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.errors import (
+    RetryExhausted,
+    StoreError,
+    TransactionAborted,
+)
+from ..core.events import Obj, Value
+from ..monitor.online import ConsistencyMonitor, Violation
+from ..mvcc.engine import BaseEngine, CommitRecord, TxContext
+from ..mvcc.runtime import ReadOp, TxProgram, WriteOp
+from .metrics import ServiceMetrics
+
+
+@dataclass(frozen=True)
+class TxOutcome:
+    """The result of one successfully committed service transaction.
+
+    Attributes:
+        record: the engine's commit record.
+        attempts: how many attempts were needed (1 = no retry).
+        violation: the monitor's verdict on this commit, if a monitor is
+            attached and flagged it (the commit itself stands — the
+            monitor certifies, it does not veto).
+    """
+
+    record: CommitRecord
+    attempts: int
+    violation: Optional[Violation] = None
+
+
+class TransactionService:
+    """Concurrent front-end to one engine.
+
+    Args:
+        engine: any :class:`BaseEngine`; the service relies on its
+            operation-level locking.
+        monitor: optional online monitor fed every commit in commit
+            order (use :class:`~repro.monitor.windowed.WindowedMonitor`
+            for sustained load).
+        max_concurrent: admission limit — at most this many
+            transactions in flight at once (``None`` = unlimited).
+        max_retries: resubmissions allowed per transaction before
+            :class:`RetryExhausted` (the livelock bound).
+        backoff_base: first backoff sleep in seconds; attempt ``n``
+            sleeps ``min(backoff_cap, backoff_base * 2**(n-1))`` scaled
+            by a deterministic per-session jitter in [0.5, 1.0).  Zero
+            disables sleeping (useful in tests).
+        backoff_seed: seed for the jitter streams.
+        metrics: share an existing :class:`ServiceMetrics` (one is
+            created otherwise).
+    """
+
+    def __init__(
+        self,
+        engine: BaseEngine,
+        monitor: Optional[ConsistencyMonitor] = None,
+        max_concurrent: Optional[int] = None,
+        max_retries: int = 25,
+        backoff_base: float = 0.0002,
+        backoff_cap: float = 0.02,
+        backoff_seed: int = 0,
+        metrics: Optional[ServiceMetrics] = None,
+    ):
+        if max_concurrent is not None and max_concurrent < 1:
+            raise StoreError(
+                f"max_concurrent must be positive, got {max_concurrent}"
+            )
+        if max_retries < 0:
+            raise StoreError(f"max_retries must be >= 0, got {max_retries}")
+        self.engine = engine
+        self.monitor = monitor
+        self.metrics = metrics or ServiceMetrics()
+        self.max_retries = max_retries
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.backoff_seed = backoff_seed
+        self.violations: List[Violation] = []
+        self._admission = (
+            threading.Semaphore(max_concurrent)
+            if max_concurrent is not None
+            else None
+        )
+        self._session_counter = itertools.count(1)
+        self._lock = threading.Lock()
+
+    def session(self, name: Optional[str] = None) -> "ServiceSession":
+        """A new session handle (drive it from a single thread)."""
+        if name is None:
+            with self._lock:
+                name = f"client-{next(self._session_counter)}"
+        return ServiceSession(self, name)
+
+    def run(self, program: TxProgram) -> TxOutcome:
+        """Run one program on a fresh throwaway session (convenience)."""
+        return self.session().run(program)
+
+    # ------------------------------------------------------------------
+    # Internals shared with the session handles
+    # ------------------------------------------------------------------
+
+    def _admit(self) -> None:
+        if self._admission is None:
+            return
+        if not self._admission.acquire(blocking=False):
+            self.metrics.enter_admission_queue()
+            try:
+                self._admission.acquire()
+            finally:
+                self.metrics.leave_admission_queue()
+
+    def _release(self) -> None:
+        if self._admission is not None:
+            self._admission.release()
+
+    def _observe(self, record: CommitRecord) -> Optional[Violation]:
+        """Feed a commit to the monitor (caller holds the engine lock)."""
+        if self.monitor is None:
+            return None
+        violation = self.monitor.observe_commit(
+            record.tid, record.session, list(record.events)
+        )
+        if violation is not None:
+            self.metrics.record_violation()
+            with self._lock:
+                self.violations.append(violation)
+        return violation
+
+
+class ServiceSession:
+    """One client's handle: explicit transaction control plus
+    :meth:`run` for the retry discipline.  Not thread-safe — one thread
+    per handle (matching the engines' one-transaction-per-session
+    rule).
+
+    An engine-initiated abort keeps the handle's logical-transaction
+    bookkeeping (attempt count, start time) alive: per Section 5's
+    client discipline the aborted transaction is expected to be
+    resubmitted, and the eventual commit's latency covers every failed
+    attempt.  A deliberate :meth:`abort` resets it.
+    """
+
+    def __init__(self, service: TransactionService, name: str):
+        self.service = service
+        self.name = name
+        self._ctx: Optional[TxContext] = None
+        self._txn_started: Optional[float] = None
+        self._attempts = 0
+        self._rng = random.Random(f"{service.backoff_seed}:{name}")
+
+    # ------------------------------------------------------------------
+    # Explicit transaction control
+    # ------------------------------------------------------------------
+
+    def begin(self) -> TxContext:
+        """Admit and start a transaction (attempt)."""
+        if self._ctx is not None:
+            raise StoreError(
+                f"session {self.name!r} already has an open transaction"
+            )
+        self.service._admit()
+        try:
+            ctx = self.service.engine.begin(self.name)
+        except BaseException:
+            self.service._release()
+            raise
+        self._ctx = ctx
+        if self._txn_started is None:
+            self._txn_started = time.perf_counter()
+        self._attempts += 1
+        self.service.metrics.record_begin()
+        return ctx
+
+    def read(self, obj: Obj) -> Value:
+        """Read ``obj`` in the open transaction."""
+        try:
+            return self.service.engine.read(self._open_ctx(), obj)
+        except TransactionAborted:
+            self._finish_aborted()
+            raise
+
+    def write(self, obj: Obj, value: Value) -> None:
+        """Write ``value`` to ``obj`` in the open transaction."""
+        try:
+            self.service.engine.write(self._open_ctx(), obj, value)
+        except TransactionAborted:
+            # Pessimistic engines abort at the operation (no-wait 2PL).
+            self._finish_aborted()
+            raise
+
+    def commit(self) -> TxOutcome:
+        """Commit; the attached monitor certifies the commit while the
+        engine lock is still held, so it observes true commit order."""
+        ctx = self._open_ctx()
+        engine = self.service.engine
+        violation: Optional[Violation] = None
+        monitor_error: Optional[BaseException] = None
+        try:
+            with engine.lock:
+                record = engine.commit(ctx)
+                try:
+                    violation = self.service._observe(record)
+                except Exception as exc:
+                    # Monitor misuse must not leak the admission slot;
+                    # the commit itself stands.
+                    monitor_error = exc
+        except TransactionAborted:
+            self._finish_aborted()
+            raise
+        latency = time.perf_counter() - (
+            self._txn_started or time.perf_counter()
+        )
+        outcome = TxOutcome(
+            record=record, attempts=self._attempts, violation=violation
+        )
+        self._ctx = None
+        self._txn_started = None
+        self._attempts = 0
+        self.service._release()
+        self.service.metrics.record_commit(latency)
+        if monitor_error is not None:
+            raise monitor_error
+        return outcome
+
+    def abort(self, reason: str = "client abort") -> None:
+        """Deliberately abort the open transaction (no retry implied)."""
+        self.service.engine.abort(self._open_ctx(), reason)
+        self._finish_aborted()
+        self._txn_started = None
+        self._attempts = 0
+
+    # ------------------------------------------------------------------
+    # The retry discipline
+    # ------------------------------------------------------------------
+
+    def run(
+        self, program: TxProgram, max_retries: Optional[int] = None
+    ) -> TxOutcome:
+        """Execute ``program`` (a generator of Read/Write ops) as one
+        transaction, resubmitting on abort with exponential backoff.
+
+        Raises:
+            RetryExhausted: after ``max_retries`` resubmissions (the
+                transaction is left aborted).
+        """
+        cap = self.service.max_retries if max_retries is None else max_retries
+        while True:
+            try:
+                return self._attempt(program)
+            except TransactionAborted as exc:
+                if self._attempts > cap:
+                    attempts = self._attempts
+                    self._attempts = 0
+                    self._txn_started = None
+                    self.service.metrics.record_retry_exhausted()
+                    raise RetryExhausted(
+                        self.name, attempts, exc.reason
+                    ) from exc
+                self.service.metrics.record_retry()
+                self._backoff(self._attempts)
+
+    def _attempt(self, program: TxProgram) -> TxOutcome:
+        """One attempt: begin, drive the generator, commit."""
+        self.begin()
+        gen = program()
+        to_send: Optional[Value] = None
+        try:
+            while True:
+                try:
+                    op = gen.send(to_send)
+                except StopIteration:
+                    break
+                if isinstance(op, ReadOp):
+                    to_send = self.read(op.obj)
+                elif isinstance(op, WriteOp):
+                    self.write(op.obj, op.value)
+                    to_send = None
+                else:
+                    raise StoreError(
+                        f"program in session {self.name!r} yielded "
+                        f"{op!r}; expected ReadOp or WriteOp"
+                    )
+        except TransactionAborted:
+            raise
+        except BaseException:
+            # Program bug or client cancellation: abort, do not retry.
+            if self._ctx is not None:
+                self.abort("program error")
+            raise
+        return self.commit()
+
+    def _backoff(self, attempts: int) -> None:
+        base = self.service.backoff_base
+        if base <= 0:
+            return
+        delay = min(self.service.backoff_cap, base * 2 ** (attempts - 1))
+        time.sleep(delay * (0.5 + self._rng.random() / 2))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _open_ctx(self) -> TxContext:
+        if self._ctx is None:
+            raise StoreError(
+                f"session {self.name!r} has no open transaction"
+            )
+        return self._ctx
+
+    def _finish_aborted(self) -> None:
+        """Release the slot after an abort; the logical transaction's
+        attempt count and start time survive for the retry."""
+        self._ctx = None
+        self.service._release()
+        self.service.metrics.record_abort()

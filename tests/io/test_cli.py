@@ -150,6 +150,67 @@ class TestDot:
         assert in_graph_si(graph)
 
 
+class TestServeBench:
+    def test_si_smallbank_clean_run(self, tmp_path, capsys):
+        report_path = tmp_path / "metrics.json"
+        status = main(
+            [
+                "serve-bench",
+                "--engine", "SI",
+                "--workers", "4",
+                "--txns", "5",
+                "--seed", "3",
+                "--json", str(report_path),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        assert "0 violations" in out
+        report = json.loads(report_path.read_text())
+        assert report["workers"] == 4
+        engine_report = report["engines"]["SI"]
+        assert engine_report["violations"] == 0
+        assert engine_report["committed"] > 0
+        assert "p99" in engine_report["latency_seconds"]
+
+    def test_all_engines_and_tpcc_mix(self, capsys):
+        status = main(
+            [
+                "serve-bench",
+                "--engine", "all",
+                "--mix", "tpcc",
+                "--workers", "2",
+                "--txns", "3",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert status == 0
+        for key in ("SI", "SER", "PSI", "2PL"):
+            assert key in out
+
+    def test_admission_limit_accepted(self, capsys):
+        status = main(
+            [
+                "serve-bench",
+                "--workers", "4",
+                "--txns", "4",
+                "--max-concurrent", "2",
+            ]
+        )
+        assert status == 0
+
+    def test_bad_engine_rejected(self):
+        assert main(["serve-bench", "--engine", "XXL"]) == 2
+
+    def test_invalid_workers_clean_usage_error(self, capsys):
+        assert main(["serve-bench", "--workers", "0"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_invalid_window_clean_usage_error(self, capsys):
+        assert main(["serve-bench", "--window", "1"]) == 2
+        assert "at least 2" in capsys.readouterr().err
+
+
 class TestDemo:
     def test_list_cases(self, capsys):
         assert main(["demo"]) == 0

@@ -1,0 +1,182 @@
+"""Tests for the windowed (garbage-collecting) online monitor.
+
+The load-bearing property: eviction never masks a violation whose
+transactions all fit inside one window.  We prove it two ways — on the
+engine-produced anomalies (write skew, long fork) pushed deep into a
+run by padding traffic, and by cross-checking windowed verdicts against
+the full monitor on random engine runs.
+"""
+
+import pytest
+
+from repro.core.events import read, write
+from repro.monitor import (
+    ConsistencyMonitor,
+    MonitorError,
+    WindowedMonitor,
+    watch_engine,
+)
+from repro.mvcc import PSIEngine, Scheduler, SIEngine
+from repro.mvcc.workloads import random_workload, write_skew_sessions
+
+
+def pad_commits(monitor, count, start=0):
+    """Feed ``count`` unrelated single-object commits (disjoint keys
+    must be pre-registered via initial_values)."""
+    for i in range(start, start + count):
+        violation = monitor.observe_commit(
+            f"pad{i}", f"pad-session-{i % 7}", [write(f"p{i % 5}", i + 1)]
+        )
+        assert violation is None
+
+
+def padded_initial():
+    values = {"acct1": 70, "acct2": 80}
+    values.update({f"p{i}": 0 for i in range(5)})
+    return values
+
+
+def write_skew_events(engine=None):
+    """The SmallBank-style write-skew commit stream over acct1/acct2."""
+    return [
+        ("ws1", "alice", [read("acct1", 70), read("acct2", 80),
+                          write("acct1", -30)]),
+        ("ws2", "bob", [read("acct1", 70), read("acct2", 80),
+                        write("acct2", -20)]),
+    ]
+
+
+class TestWindowSoundness:
+    def test_in_window_violation_detected_after_deep_padding(self):
+        """GC must not mask a violation confined to one window."""
+        full = ConsistencyMonitor("SER", padded_initial())
+        windowed = WindowedMonitor(8, "SER", padded_initial())
+        pad_commits(full, 100)
+        pad_commits(windowed, 100)
+        assert windowed.retained_count == 8
+        for tid, session, events in write_skew_events():
+            v_full = full.observe_commit(tid, session, events)
+            v_win = windowed.observe_commit(tid, session, events)
+            assert (v_full is None) == (v_win is None)
+        assert not full.consistent
+        assert not windowed.consistent
+        # Same detection point and same witness shape.
+        assert full.violations[0].tid == windowed.violations[0].tid == "ws2"
+
+    def test_si_violation_detected_inside_window(self):
+        """A lost-update-style SI violation after heavy padding."""
+        stream = [
+            ("t1", "s1", [read("acct1", 70), write("acct1", 170)]),
+            ("t2", "s2", [read("acct1", 70), write("acct1", 95)]),
+        ]
+        full = ConsistencyMonitor("SI", padded_initial())
+        windowed = WindowedMonitor(6, "SI", padded_initial())
+        pad_commits(full, 60)
+        pad_commits(windowed, 60)
+        for tid, session, events in stream:
+            full.observe_commit(tid, session, events)
+            windowed.observe_commit(tid, session, events)
+        assert not full.consistent
+        assert not windowed.consistent
+        assert full.violations[0].tid == windowed.violations[0].tid
+
+    def test_long_fork_detected_inside_window(self):
+        """The PSI-engine long fork flagged by a windowed SI monitor."""
+        engine = PSIEngine({"x": 0, "y": 0})
+        for reader in ("r1", "r2"):
+            engine.replica_of(reader)
+        from repro.mvcc.workloads import long_fork_sessions
+
+        sched = Scheduler(engine, long_fork_sessions())
+        sched.step("w1"), sched.step("w1")
+        sched.step("w2"), sched.step("w2")
+        tids = {r.session: r.tid for r in engine.committed}
+        engine.deliver(tids["w1"], "r_r1")
+        engine.deliver(tids["w2"], "r_r2")
+        sched.run_round_robin()
+        monitor = WindowedMonitor(
+            4, "SI", dict(engine.initial), init_tid=engine.init_tid
+        )
+        violations = []
+        for rec in sorted(engine.committed, key=lambda r: r.commit_ts):
+            v = monitor.observe_commit(
+                rec.tid, rec.session, list(rec.events)
+            )
+            if v is not None:
+                violations.append(v)
+        assert violations
+        assert violations[0].tid == engine.committed[-1].tid
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_agrees_with_full_monitor_when_window_covers_run(self, seed):
+        wl = random_workload(
+            seed, sessions=4, transactions_per_session=4, objects=3
+        )
+        engine = SIEngine(wl.initial)
+        Scheduler(engine, wl.sessions).run_random(seed)
+        full, v_full = watch_engine(engine, model="SI")
+        windowed = WindowedMonitor(
+            len(engine.committed) + 1, "SI", dict(engine.initial)
+        )
+        v_win = []
+        for rec in sorted(engine.committed, key=lambda r: r.commit_ts):
+            v = windowed.observe_commit(
+                rec.tid, rec.session, list(rec.events)
+            )
+            if v is not None:
+                v_win.append(v)
+        assert full.consistent == windowed.consistent
+        assert [v.tid for v in v_full] == [v.tid for v in v_win]
+
+
+class TestGarbageCollection:
+    def test_state_stays_bounded_under_sustained_load(self):
+        monitor = WindowedMonitor(10, "SI", {f"p{i}": 0 for i in range(5)})
+        pad_commits(monitor, 500)
+        assert monitor.commit_count == 500
+        assert monitor.retained_count == 10
+        assert monitor.evicted_count == 490
+        sizes = monitor.state_size()
+        assert sizes["records"] == 10
+        assert sizes["edges"] <= 10 * 10 * 4
+        assert sizes["read_versions"] <= 10 * 5
+        assert sizes["value_attributions"] <= 10 * 5 + 5
+        assert sizes["evicted_tombstones"] <= 10 + 5 + 5
+        assert monitor.consistent
+
+    def test_read_of_current_version_by_evicted_writer_attributes(self):
+        """The frontier: a read may return a value whose writer was
+        evicted long ago, as long as it is still the current version."""
+        monitor = WindowedMonitor(3, "SI", {"x": 0, "p0": 0, "p1": 0})
+        monitor.observe_commit("w", "s-w", [write("x", 42)])
+        for i in range(10):
+            monitor.observe_commit(
+                f"pad{i}", "s-pad", [write(f"p{i % 2}", i + 1)]
+            )
+        assert "w" not in monitor._records
+        # Strict attribution still succeeds and stays violation-free.
+        v = monitor.observe_commit("r", "s-r", [read("x", 42)])
+        assert v is None
+        assert monitor.consistent
+
+    def test_read_of_superseded_old_version_is_unattributable(self):
+        """A read older than the window is reported, not misclassified."""
+        monitor = WindowedMonitor(3, "SI", {"x": 0, "p0": 0})
+        monitor.observe_commit("w1", "s1", [write("x", 1)])
+        monitor.observe_commit("w2", "s2", [write("x", 2)])
+        for i in range(6):
+            monitor.observe_commit("pad%d" % i, "s-pad",
+                                   [write("p0", i + 1)])
+        with pytest.raises(MonitorError):
+            monitor.observe_commit("r", "s-r", [read("x", 1)])
+
+    def test_duplicate_tid_rejected_even_after_eviction(self):
+        monitor = WindowedMonitor(2, "SI", {"p0": 0})
+        for i in range(5):
+            monitor.observe_commit(f"t{i}", "s", [write("p0", i + 1)])
+        with pytest.raises(MonitorError):
+            monitor.observe_commit("t0", "s", [write("p0", 99)])
+
+    def test_window_must_be_at_least_two(self):
+        with pytest.raises(MonitorError):
+            WindowedMonitor(1, "SI", {"x": 0})

@@ -1,0 +1,157 @@
+"""Retry-discipline coverage: injected abort storms must terminate with
+a bounded attempt count and a clear error, never livelock."""
+
+import pytest
+
+from repro.core.errors import (
+    RetryExhausted,
+    StoreError,
+    TransactionAborted,
+)
+from repro.mvcc import SIEngine
+from repro.mvcc.engine import BaseEngine
+from repro.mvcc.runtime import ReadOp, WriteOp
+from repro.service import TransactionService
+
+
+class StormEngine(SIEngine):
+    """An SI engine whose commit fails the first ``failures`` times."""
+
+    def __init__(self, initial, failures):
+        super().__init__(initial)
+        self.failures = failures
+        self.commit_calls = 0
+
+    def commit(self, ctx):
+        with self.lock:
+            self.commit_calls += 1
+            if self.commit_calls <= self.failures:
+                self.abort(ctx, "injected write-conflict storm")
+                raise TransactionAborted(
+                    ctx.tid, "injected write-conflict storm"
+                )
+            return super().commit(ctx)
+
+
+def incr(obj):
+    def tx():
+        value = yield ReadOp(obj)
+        yield WriteOp(obj, value + 1)
+
+    return tx
+
+
+class TestRetryDiscipline:
+    def test_transient_storm_eventually_commits(self):
+        engine = StormEngine({"x": 0}, failures=5)
+        service = TransactionService(engine, backoff_base=0)
+        outcome = service.session().run(incr("x"))
+        assert outcome.attempts == 6
+        assert service.metrics.retries == 5
+        assert service.metrics.aborts == 5
+        assert service.metrics.commits == 1
+        assert service.metrics.retry_exhausted == 0
+
+    def test_persistent_storm_raises_retry_exhausted(self):
+        engine = StormEngine({"x": 0}, failures=10**9)
+        service = TransactionService(engine, max_retries=7, backoff_base=0)
+        session = service.session("doomed")
+        with pytest.raises(RetryExhausted) as excinfo:
+            session.run(incr("x"))
+        err = excinfo.value
+        assert err.session == "doomed"
+        assert err.attempts == 8  # cap resubmissions + the first attempt
+        assert "injected write-conflict storm" in err.last_reason
+        assert isinstance(err.__cause__, TransactionAborted)
+        assert service.metrics.retry_exhausted == 1
+        assert engine.commit_calls == 8  # bounded, not livelocked
+
+    def test_session_usable_after_exhaustion(self):
+        engine = StormEngine({"x": 0}, failures=3)
+        service = TransactionService(engine, max_retries=1, backoff_base=0)
+        session = service.session()
+        with pytest.raises(RetryExhausted):
+            session.run(incr("x"))
+        outcome = session.run(incr("x"))  # storm over (3 failures spent)
+        assert outcome.attempts == 2
+        assert service.metrics.commits == 1
+
+    def test_zero_retries_means_single_attempt(self):
+        engine = StormEngine({"x": 0}, failures=1)
+        service = TransactionService(engine, max_retries=0, backoff_base=0)
+        with pytest.raises(RetryExhausted) as excinfo:
+            service.session().run(incr("x"))
+        assert excinfo.value.attempts == 1
+        assert engine.commit_calls == 1
+
+    def test_per_call_cap_overrides_service_cap(self):
+        engine = StormEngine({"x": 0}, failures=10**9)
+        service = TransactionService(
+            engine, max_retries=50, backoff_base=0
+        )
+        with pytest.raises(RetryExhausted) as excinfo:
+            service.session().run(incr("x"), max_retries=2)
+        assert excinfo.value.attempts == 3
+
+    def test_program_error_aborts_without_retry(self):
+        service = TransactionService(SIEngine({"x": 0}), backoff_base=0)
+
+        def buggy():
+            yield ReadOp("x")
+            raise ValueError("application bug")
+
+        session = service.session()
+        with pytest.raises(ValueError):
+            session.run(buggy)
+        assert service.metrics.retries == 0
+        assert service.metrics.aborts == 1
+        assert service.metrics.in_flight == 0
+        # Handle stays usable.
+        assert session.run(incr("x")).attempts == 1
+
+    def test_bad_yield_rejected(self):
+        service = TransactionService(SIEngine({"x": 0}))
+
+        def bad():
+            yield "not an op"
+
+        with pytest.raises(StoreError):
+            service.session().run(bad)
+
+    def test_backoff_is_exponential_capped_and_jittered(self, monkeypatch):
+        service = TransactionService(
+            SIEngine({"x": 0}),
+            backoff_base=0.001,
+            backoff_cap=0.004,
+            backoff_seed=42,
+        )
+        session = service.session("jitter")
+        sleeps = []
+        monkeypatch.setattr(
+            "repro.service.service.time.sleep",
+            lambda seconds: sleeps.append(seconds),
+        )
+        for attempt in (1, 2, 3, 4, 5):
+            session._backoff(attempt)
+        # Each sleep is the capped exponential scaled into [0.5, 1.0).
+        for index, slept in enumerate(sleeps):
+            expected = min(0.004, 0.001 * 2**index)
+            assert 0.5 * expected <= slept < expected
+        # The cap actually bit on the later attempts.
+        assert sleeps[3] < 0.004 and sleeps[4] < 0.004
+
+    def test_backoff_deterministic_per_session_seed(self):
+        def sleeps_for(seed):
+            service = TransactionService(
+                SIEngine({"x": 0}), backoff_base=0.001, backoff_seed=seed
+            )
+            session = service.session("s")
+            rng_draws = [session._rng.random() for _ in range(3)]
+            return rng_draws
+
+        assert sleeps_for(7) == sleeps_for(7)
+        assert sleeps_for(7) != sleeps_for(8)
+
+    def test_storm_engine_is_a_base_engine(self):
+        # Guard: the injection helper must stay drop-in compatible.
+        assert issubclass(StormEngine, BaseEngine)
