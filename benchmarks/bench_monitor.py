@@ -1,14 +1,23 @@
-"""E18 — Online monitoring overhead and detection fidelity (§7).
+"""E18 / E24 — Online monitoring overhead, fidelity, and scaling (§7).
 
 The run-time-monitoring application the paper anticipates for its
 characterisation: an online checker maintaining the dependency graph and
-re-testing Theorem 9's condition at every commit.  The bench measures
-per-run monitoring cost against run length, and the report confirms the
-monitor's verdicts match the offline oracle on engine runs.
+re-testing Theorem 9's condition at every commit.  E18 measures per-run
+monitoring cost against run length and confirms the monitor's verdicts
+match the offline oracle on engine runs.  E24 sweeps commit counts to
+demonstrate the asymptotic win of the incremental certification core
+(dynamic topological order, ``checker="incremental"``) over the
+per-commit full rebuild (``checker="rebuild"``), writing the
+machine-readable ``BENCH_monitor_scaling.json`` record CI tracks.  Cap
+the sweep with ``E24_MAX_COMMITS`` (CI smoke sets a small value).
 """
+
+import os
+import time
 
 import pytest
 
+from repro.core.events import read, write
 from repro.monitor import ConsistencyMonitor, WindowedMonitor, watch_engine
 from repro.mvcc import PSIEngine, Scheduler, SIEngine
 from repro.mvcc.workloads import (
@@ -17,7 +26,7 @@ from repro.mvcc.workloads import (
     write_skew_sessions,
 )
 
-from helpers import bool_mark, print_table
+from helpers import bool_mark, print_table, write_bench_json
 
 
 def si_run(seed: int, sessions: int, per_session: int):
@@ -170,3 +179,96 @@ def test_monitor_report():
     assert m_psi.consistent and not m_si2.consistent
     # Detection is at the earliest anomalous commit: the last reader.
     assert v_si2[0].tid == engine2.committed[-1].tid
+
+
+# ----------------------------------------------------------------------
+# E24 — incremental vs rebuild certification scaling
+# ----------------------------------------------------------------------
+
+#: Default commit-count sweeps; PSI's rebuild oracle runs a transitive
+#: closure per commit, so it sweeps smaller sizes.
+E24_SIZES = {"SI": (100, 200, 400, 800), "SER": (100, 200, 400, 800),
+             "PSI": (50, 100, 200)}
+
+
+def certification_stream(length, session_span=4):
+    """A violation-free commit stream with bounded per-commit degree.
+
+    Transaction ``i`` reads the object the previous transaction wrote
+    and writes its own; every third transaction also overwrites an
+    older object, so WR, WW and RW edges all flow (always forward in
+    commit order — acyclic under every model).  Sessions rotate every
+    ``session_span`` commits, bounding SO fan-in.  The per-commit edge
+    deltas are O(1), so the incremental checker's cost per commit stays
+    flat while the rebuild checker's grows with the accumulated graph.
+    """
+    initial = {"o0": 0}
+    events = []
+    for i in range(length):
+        ops = []
+        if i > 0:
+            ops.append(read(f"o{i - 1}", ("v", i - 1)))
+        ops.append(write(f"o{i}", ("v", i)))
+        if i >= 2 and i % 3 == 0:
+            ops.append(write(f"o{i - 2}", ("w", i)))
+        events.append((f"t{i}", f"s{i // session_span}", ops))
+    return initial, events
+
+
+def timed_feed(checker, model, initial, events):
+    """Feed the stream through a fresh monitor; return elapsed seconds."""
+    monitor = ConsistencyMonitor(model, dict(initial), checker=checker)
+    started = time.perf_counter()
+    for tid, session, ops in events:
+        assert monitor.observe_commit(tid, session, ops) is None
+    return time.perf_counter() - started
+
+
+def test_bench_incremental_scaling():
+    """E24: the incremental checker beats the rebuild checker with a
+    widening gap as the commit count grows (≥5x at the largest default
+    size; never slower at the largest size of a capped CI smoke run)."""
+    cap = int(os.environ.get("E24_MAX_COMMITS", "0")) or None
+    rows = []
+    results = {}
+    for model, default_sizes in E24_SIZES.items():
+        sizes = [s for s in default_sizes if cap is None or s <= cap]
+        if not sizes:
+            sizes = [min(default_sizes)]
+        sweep = []
+        for size in sizes:
+            initial, events = certification_stream(size)
+            rebuild_s = timed_feed("rebuild", model, initial, events)
+            incremental_s = timed_feed("incremental", model, initial, events)
+            speedup = rebuild_s / incremental_s if incremental_s else float("inf")
+            sweep.append({
+                "commits": size,
+                "rebuild_seconds": round(rebuild_s, 4),
+                "incremental_seconds": round(incremental_s, 4),
+                "speedup": round(speedup, 1),
+            })
+            rows.append((model, size, f"{rebuild_s:.3f}s",
+                         f"{incremental_s:.3f}s", f"{speedup:.1f}x"))
+        results[model] = sweep
+        largest = sweep[-1]
+        full_sweep = sizes[-1] == default_sizes[-1]
+        floor = 5.0 if full_sweep else 1.0
+        assert largest["speedup"] >= floor, (model, largest)
+        # The gap widens with commit count (asymptotic, not constant).
+        if len(sweep) >= 2:
+            assert sweep[-1]["speedup"] > sweep[0]["speedup"], (model, sweep)
+    print_table(
+        "E24 — incremental vs rebuild certification cost",
+        ["model", "commits", "rebuild", "incremental", "speedup"],
+        rows,
+    )
+    path = write_bench_json(
+        "monitor_scaling",
+        params={
+            "sizes": {m: [s["commits"] for s in results[m]] for m in results},
+            "session_span": 4,
+            "capped": cap is not None,
+        },
+        results=results,
+    )
+    print(f"scaling record written to {path}")

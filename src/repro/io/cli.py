@@ -119,6 +119,7 @@ def _cmd_check_log(args: argparse.Namespace) -> int:
         initial_values=initial,
         strict_values=not args.lenient,
         init_tid=init_tid or "t_init",
+        checker=args.checker,
     )
     try:
         for tid in order:
@@ -185,7 +186,6 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     import json as _json
 
     from ..core.errors import ReproError
-    from ..monitor import WindowedMonitor
     from ..service import MIXES, LoadGenerator, TransactionService
 
     engines = SERVE_ENGINES if args.engine == "all" else (args.engine,)
@@ -194,6 +194,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         "workers": args.workers,
         "transactions_per_worker": args.txns,
         "window": args.window,
+        "checker": args.checker,
         "engines": {},
     }
     total_violations = 0
@@ -201,10 +202,11 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         mix = MIXES[args.mix]()
         engine, model = _serve_engine(key, dict(mix.initial))
         try:
-            monitor = WindowedMonitor(args.window, model, dict(mix.initial))
-            service = TransactionService(
+            service = TransactionService.certified(
                 engine,
-                monitor,
+                model=model,
+                window=args.window,
+                checker=args.checker,
                 max_concurrent=args.max_concurrent,
                 max_retries=args.max_retries,
             )
@@ -335,6 +337,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="attribute ambiguous read values to the latest writer "
              "instead of erroring",
     )
+    p_log.add_argument(
+        "--checker", choices=["incremental", "rebuild"],
+        default="incremental",
+        help="certification back-end: incremental dynamic-topological-"
+             "order core (default) or full per-commit rebuild (oracle)",
+    )
     p_log.set_defaults(func=_cmd_check_log)
 
     p_dot = sub.add_parser(
@@ -373,6 +381,13 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--window", type=int, default=64,
         help="monitor window (retained commits)",
+    )
+    p_serve.add_argument(
+        "--checker", choices=["incremental", "rebuild"],
+        default="incremental",
+        help="monitor certification back-end: incremental dynamic-"
+             "topological-order core (default) or full per-commit "
+             "rebuild (oracle)",
     )
     p_serve.add_argument(
         "--max-concurrent", type=int, default=None,

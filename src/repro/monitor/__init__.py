@@ -3,10 +3,26 @@
 :class:`ConsistencyMonitor` watches a stream of committed transactions,
 maintains the dependency graph incrementally, and flags the first commit
 whose accumulated behaviour leaves GraphSI / GraphSER / GraphPSI.
-:class:`WindowedMonitor` adds transaction-window garbage collection so
-the per-commit cost stays bounded under sustained service load.
+Certification runs on one of two back-ends selected by the ``checker``
+knob: the default ``"incremental"`` core
+(:mod:`repro.monitor.incremental`) maintains the composed relation as a
+DAG under a Pearce–Kelly dynamic topological order so the common
+no-violation commit costs amortised near-constant work, while
+``"rebuild"`` re-derives the full condition each commit and serves as
+the differential-testing oracle.  :class:`WindowedMonitor` adds
+transaction-window garbage collection so memory stays bounded under
+sustained service load.
 """
 
+from .incremental import (
+    CHECKERS,
+    DynamicTopoOrder,
+    IncrementalChecker,
+    PsiIncrementalChecker,
+    SerIncrementalChecker,
+    SiIncrementalChecker,
+    make_checker,
+)
 from .online import (
     ConsistencyMonitor,
     MonitorError,
@@ -16,9 +32,16 @@ from .online import (
 from .windowed import WindowedMonitor
 
 __all__ = [
+    "CHECKERS",
     "ConsistencyMonitor",
+    "DynamicTopoOrder",
+    "IncrementalChecker",
     "MonitorError",
+    "PsiIncrementalChecker",
+    "SerIncrementalChecker",
+    "SiIncrementalChecker",
     "Violation",
     "WindowedMonitor",
+    "make_checker",
     "watch_engine",
 ]

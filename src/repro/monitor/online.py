@@ -15,37 +15,50 @@ commit order, incrementally maintains the dependency graph —
 * **WW** as the observed commit order restricted to each object's writers
   (Definition 5 with CO = real commit order);
 * **RW** derived incrementally: when ``T`` overwrites a version, every
-  earlier reader of that version gains an anti-dependency to ``T``; when
-  ``T`` reads a version that was already overwritten, ``T`` gains
-  anti-dependencies to the overwriters —
+  earlier reader of that object (found through a per-object readers
+  index) gains an anti-dependency to ``T``; when ``T`` reads a version
+  that was already overwritten, ``T`` gains anti-dependencies to the
+  overwriters —
 
 and after every commit re-checks the model's graph condition
 (Theorem 9 for SI, Theorem 8 for SER, Theorem 21 for PSI).  On a
 violation it reports the offending cycle, and the monitor keeps the full
 graph so post-mortem extraction is possible.
 
-The per-commit check is a linear-time cycle test over the composite
-relation, so monitoring a run of ``n`` transactions costs ``O(n·(V+E))``
-overall — adequate for test harnesses and the bench.  For sustained
-production load use :class:`~repro.monitor.windowed.WindowedMonitor`,
-which garbage-collects transactions outside a sliding commit window so
-the per-commit cost stays bounded (at the price of missing cycles that
-span more than a window).
+Two certification back-ends are available via the ``checker`` knob:
+
+* ``"incremental"`` (the default) maintains the model's composed
+  relation as a DAG under a dynamic topological order
+  (:mod:`repro.monitor.incremental`), so each commit costs work
+  proportional to its own edge deltas' affected region — near-amortised
+  constant in the common no-violation case.  A cycle-closing edge is
+  reported and dropped, so certification continues on the still-acyclic
+  remainder: each violation is flagged once, at the commit that closes
+  it.
+* ``"rebuild"`` re-derives every relation and re-runs the full cycle
+  test on each commit — ``O(V+E)`` per commit for SI/SER and a full
+  transitive closure for PSI.  It is kept as the differential-testing
+  oracle (``tests/monitor/test_parity.py``); once a cycle exists it is
+  re-flagged at every subsequent commit.
+
+For sustained production load use
+:class:`~repro.monitor.windowed.WindowedMonitor`, which garbage-collects
+transactions outside a sliding commit window so memory stays bounded
+too (at the price of missing cycles that span more than a window).
 """
 
 from __future__ import annotations
 
-import enum
-from dataclasses import dataclass, field
+from collections import deque
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.errors import ReproError
 from ..core.events import Obj, Op, Value
-from ..core.histories import History
 from ..core.relations import Relation
 from ..core.transactions import Transaction
-from ..graphs.dependency import DependencyGraph
 from ..mvcc.engine import BaseEngine
+from .incremental import IncrementalChecker, make_checker
 
 
 class MonitorError(ReproError):
@@ -90,9 +103,13 @@ class ConsistencyMonitor:
             attributed to a unique writer (the default); with ``False``
             the most recent writer of the value wins.
         init_tid: the tid used for the implicit initialisation writer.
+        checker: ``"incremental"`` (default — dynamic-topological-order
+            certification, amortised per-commit cost) or ``"rebuild"``
+            (full per-commit recheck, the differential-testing oracle).
     """
 
     MODELS = ("SI", "SER", "PSI")
+    CHECKERS = ("incremental", "rebuild")
 
     def __init__(
         self,
@@ -100,12 +117,19 @@ class ConsistencyMonitor:
         initial_values: Optional[Dict[Obj, Value]] = None,
         strict_values: bool = True,
         init_tid: str = "t_init",
+        checker: str = "incremental",
     ):
         if model not in self.MODELS:
             raise MonitorError(
                 f"unknown model {model!r}; expected one of {self.MODELS}"
             )
+        if checker not in self.CHECKERS:
+            raise MonitorError(
+                f"unknown checker {checker!r}; expected one of "
+                f"{self.CHECKERS}"
+            )
         self.model = model
+        self.checker = checker
         self.strict_values = strict_values
         self.init_tid = init_tid
         self._records: Dict[str, _TxnRecord] = {}
@@ -115,8 +139,8 @@ class ConsistencyMonitor:
         self._writers: Dict[Obj, List[str]] = {}
         self._value_writer: Dict[Obj, Dict[Value, str]] = {}
         self._collided: Dict[Obj, Set[Value]] = {}
-        # Which version (writer tid) each reader read, per object.
-        self._read_version: Dict[Tuple[str, Obj], str] = {}
+        # Per object: reader tid → the version (writer tid) it read.
+        self._readers: Dict[Obj, Dict[str, str]] = {}
         # Per object: the value of the newest committed version.
         self._latest_value: Dict[Obj, Value] = {}
         # Dependency edges over tids.
@@ -124,6 +148,9 @@ class ConsistencyMonitor:
         self._wr: Set[Tuple[str, str]] = set()
         self._ww: Set[Tuple[str, str]] = set()
         self._rw: Set[Tuple[str, str]] = set()
+        self._core: Optional[IncrementalChecker] = (
+            make_checker(model) if checker == "incremental" else None
+        )
         self.violations: List[Violation] = []
         if initial_values:
             for obj, value in initial_values.items():
@@ -150,25 +177,40 @@ class ConsistencyMonitor:
         record = _TxnRecord(txn, session, len(self._commit_order))
         self._records[tid] = record
         self._commit_order.append(tid)
+        if self._core is not None:
+            self._core.add_node(tid)
+
+        new_dep: List[Tuple[str, str]] = []
+        new_rw: List[Tuple[str, str]] = []
+
+        def dep_edge(kind: Set[Tuple[str, str]], a: str, b: str) -> None:
+            if (a, b) not in kind:
+                kind.add((a, b))
+                new_dep.append((a, b))
+
+        def rw_edge(a: str, b: str) -> None:
+            if (a, b) not in self._rw:
+                self._rw.add((a, b))
+                new_rw.append((a, b))
 
         # SO: edges from every earlier transaction of the session.
         earlier = self._sessions.setdefault(session, [])
         for prev in earlier:
-            self._so.add((prev, tid))
+            dep_edge(self._so, prev, tid)
         earlier.append(tid)
 
-        # WR and RW-in: attribute external reads to writers.
+        # WR and RW-out: attribute external reads to writers.
         for obj in sorted(txn.external_read_objects):
             value = txn.external_read(obj)
             writer = self._attribute_read(tid, obj, value)
-            self._read_version[(tid, obj)] = writer
+            self._readers.setdefault(obj, {})[tid] = writer
             if writer != tid and self._in_graph(writer):
-                self._wr.add((writer, tid))
+                dep_edge(self._wr, writer, tid)
             # RW out of this reader towards every later overwriter of
             # that version (writers after `writer` in the object's order).
             for later in self._overwriters_of(obj, writer):
                 if later != tid:
-                    self._rw.add((tid, later))
+                    rw_edge(tid, later)
 
         # WW and RW-in for writes: this transaction overwrites the
         # current last version of each object it writes.
@@ -176,13 +218,12 @@ class ConsistencyMonitor:
             seq = self._writers.setdefault(obj, [])
             for prev in seq:
                 if prev != tid and self._in_graph(prev):
-                    self._ww.add((prev, tid))
-            # Readers of any earlier version of obj gain RW edges to tid.
-            for (reader, robj), version in self._read_version.items():
-                if robj == obj and reader != tid:
-                    # tid overwrites `version` iff version committed
-                    # earlier (it did: it's in seq already).
-                    self._rw.add((reader, tid))
+                    dep_edge(self._ww, prev, tid)
+            # Earlier readers of obj gain RW edges to tid (the readers
+            # index makes this O(readers-of-obj), not O(total reads)).
+            for reader in self._readers.get(obj, ()):
+                if reader != tid:
+                    rw_edge(reader, tid)
             seq.append(tid)
             value = txn.final_write(obj)
             table = self._value_writer.setdefault(obj, {})
@@ -191,7 +232,7 @@ class ConsistencyMonitor:
             table[value] = tid
             self._latest_value[obj] = value
 
-        violation = self._check(tid)
+        violation = self._check(tid, new_dep, new_rw)
         if violation is not None:
             self.violations.append(violation)
         return violation
@@ -234,43 +275,20 @@ class ConsistencyMonitor:
     # Checking
     # ------------------------------------------------------------------
 
-    def _dependency_relations(self):
-        universe = set(self._records)
-        universe.add(self.init_tid)
-        so = Relation(self._so, universe)
-        wr = Relation(self._wr, universe)
-        ww = Relation(self._ww, universe)
-        rw = Relation(self._rw, universe)
-        return so, wr, ww, rw
+    def _check(
+        self,
+        tid: str,
+        new_dep: Sequence[Tuple[str, str]],
+        new_rw: Sequence[Tuple[str, str]],
+    ) -> Optional[Violation]:
+        if self._core is not None:
+            cycle = self._core.observe(new_dep, new_rw)
+            if cycle is None:
+                return None
+            return self._violation(tid, cycle)
+        return self._check_rebuild(tid)
 
-    def _check(self, tid: str) -> Optional[Violation]:
-        so, wr, ww, rw = self._dependency_relations()
-        deps = so.union(wr, ww)
-        if self.model == "SER":
-            target = deps.union(rw)
-            bad = not target.is_acyclic()
-        elif self.model == "SI":
-            target = deps.compose(rw.reflexive())
-            bad = not target.is_acyclic()
-        else:  # PSI
-            target = deps.transitive_closure().compose(rw.reflexive())
-            bad = not target.is_irreflexive()
-            if bad:
-                # Build a representative loop for the witness.
-                loops = [a for a, b in target if a == b]
-                return Violation(
-                    model=self.model,
-                    tid=tid,
-                    cycle=[loops[0], loops[0]],
-                    message=(
-                        f"{self.model} violated at commit of {tid}: "
-                        f"transaction {loops[0]} reaches itself through "
-                        f"dependencies followed by an anti-dependency"
-                    ),
-                )
-        if not bad:
-            return None
-        cycle = target.find_cycle() or []
+    def _violation(self, tid: str, cycle: Sequence[str]) -> Violation:
         return Violation(
             model=self.model,
             tid=tid,
@@ -280,6 +298,35 @@ class ConsistencyMonitor:
                 f"dependency cycle {' -> '.join(map(str, cycle))}"
             ),
         )
+
+    def _dependency_relations(self):
+        universe = set(self._records)
+        universe.add(self.init_tid)
+        so = Relation(self._so, universe)
+        wr = Relation(self._wr, universe)
+        ww = Relation(self._ww, universe)
+        rw = Relation(self._rw, universe)
+        return so, wr, ww, rw
+
+    def _check_rebuild(self, tid: str) -> Optional[Violation]:
+        """Full re-derivation of the model's graph condition (oracle)."""
+        so, wr, ww, rw = self._dependency_relations()
+        deps = so.union(wr, ww)
+        if self.model == "SER":
+            target = deps.union(rw)
+            bad = not target.is_acyclic()
+        elif self.model == "SI":
+            target = deps.compose(rw.reflexive())
+            bad = not target.is_acyclic()
+        else:  # PSI
+            closure = deps.transitive_closure()
+            target = closure.compose(rw.reflexive())
+            bad = not target.is_irreflexive()
+            if bad:
+                return self._violation(tid, _psi_witness(deps, rw, closure))
+        if not bad:
+            return None
+        return self._violation(tid, target.find_cycle() or [])
 
     # ------------------------------------------------------------------
     # Post-mortem views
@@ -305,8 +352,56 @@ class ConsistencyMonitor:
         }
 
 
+def _psi_witness(
+    deps: Relation, rw: Relation, closure: Relation
+) -> List[str]:
+    """An actual dependency loop witnessing a PSI violation.
+
+    ``(deps+ ; rw?)`` being reflexive somewhere means either ``deps``
+    itself has a cycle, or some anti-dependency ``(c, a)`` is closed by
+    a dependency path ``a ⇒ c``; reconstruct and return that loop
+    (``[a, ..., c, a]``) rather than a degenerate ``[t, t]`` pair.
+    """
+    cycle = deps.find_cycle()
+    if cycle is not None:
+        return list(cycle)
+    for c, a in rw:
+        if (a, c) in closure.pairs:
+            path = _dep_path(deps, a, c)
+            if path is not None:
+                return path + [a]
+    return []
+
+
+def _dep_path(deps: Relation, a: str, c: str) -> Optional[List[str]]:
+    """A BFS path ``[a, ..., c]`` through ``deps``, if one exists."""
+    if a == c:
+        return [a]
+    succ = deps.successors_map()
+    parent: Dict[str, Optional[str]] = {a: None}
+    queue: deque = deque([a])
+    while queue:
+        node = queue.popleft()
+        for nxt in succ.get(node, ()):
+            if nxt == c:
+                path = [c, node]
+                cursor = parent[node]
+                while cursor is not None:
+                    path.append(cursor)
+                    cursor = parent[cursor]
+                path.reverse()
+                return path
+            if nxt not in parent:
+                parent[nxt] = node
+                queue.append(nxt)
+    return None
+
+
 def watch_engine(
-    engine: BaseEngine, model: str = "SI", strict_values: bool = True
+    engine: BaseEngine,
+    model: str = "SI",
+    strict_values: bool = True,
+    checker: str = "incremental",
 ) -> Tuple[ConsistencyMonitor, List[Violation]]:
     """Replay an engine's committed records through a fresh monitor.
 
@@ -318,6 +413,7 @@ def watch_engine(
         initial_values=dict(engine.initial),
         strict_values=strict_values,
         init_tid=engine.init_tid,
+        checker=checker,
     )
     violations: List[Violation] = []
     for record in sorted(engine.committed, key=lambda r: r.commit_ts):

@@ -45,8 +45,11 @@ class WindowedMonitor(ConsistencyMonitor):
     Args:
         window: how many of the most recent committed transactions to
             retain as dependency-graph nodes (at least 2).
-        model, initial_values, strict_values, init_tid: as for
-            :class:`ConsistencyMonitor`.
+        model, initial_values, strict_values, init_tid, checker: as for
+            :class:`ConsistencyMonitor`.  With the default
+            ``checker="incremental"`` eviction is pure bookkeeping —
+            removing nodes and edges never invalidates the maintained
+            topological order, so no re-check or reorder happens.
     """
 
     def __init__(
@@ -56,6 +59,7 @@ class WindowedMonitor(ConsistencyMonitor):
         initial_values: Optional[Dict[Obj, Value]] = None,
         strict_values: bool = True,
         init_tid: str = "t_init",
+        checker: str = "incremental",
     ):
         if window < 2:
             raise MonitorError(
@@ -66,6 +70,7 @@ class WindowedMonitor(ConsistencyMonitor):
             initial_values=initial_values,
             strict_values=strict_values,
             init_tid=init_tid,
+            checker=checker,
         )
         self.window = window
         self.evicted_count = 0
@@ -119,6 +124,8 @@ class WindowedMonitor(ConsistencyMonitor):
         record = self._records.pop(old)
         self._evicted.add(old)
         self.evicted_count += 1
+        if self._core is not None:
+            self._core.remove_node(old)
         session_tids = self._sessions.get(record.session)
         if session_tids is not None:
             if old in session_tids:
@@ -129,8 +136,12 @@ class WindowedMonitor(ConsistencyMonitor):
             edges.difference_update(
                 [(a, b) for a, b in edges if a == old or b == old]
             )
-        for key in [k for k in self._read_version if k[0] == old]:
-            del self._read_version[key]
+        for obj in record.txn.external_read_objects:
+            readers = self._readers.get(obj)
+            if readers is not None:
+                readers.pop(old, None)
+                if not readers:
+                    del self._readers[obj]
         for obj in record.txn.written_objects:
             seq = self._writers.get(obj)
             if seq and old in seq:
@@ -149,7 +160,11 @@ class WindowedMonitor(ConsistencyMonitor):
         tombstone set (and so total memory) bounded by the window."""
         if len(self._evicted) <= self.window + len(self._latest_value):
             return
-        referenced = set(self._read_version.values())
+        referenced = {
+            version
+            for readers in self._readers.values()
+            for version in readers.values()
+        }
         for obj, value in self._latest_value.items():
             writer = self._value_writer.get(obj, {}).get(value)
             if writer is not None:
@@ -177,7 +192,9 @@ class WindowedMonitor(ConsistencyMonitor):
             "edges": sum(
                 len(s) for s in (self._so, self._wr, self._ww, self._rw)
             ),
-            "read_versions": len(self._read_version),
+            "read_versions": sum(
+                len(readers) for readers in self._readers.values()
+            ),
             "value_attributions": sum(
                 len(t) for t in self._value_writer.values()
             ),

@@ -120,6 +120,55 @@ class TransactionService:
         self._session_counter = itertools.count(1)
         self._lock = threading.Lock()
 
+    @classmethod
+    def certified(
+        cls,
+        engine: BaseEngine,
+        model: str = "SI",
+        window: Optional[int] = None,
+        checker: str = "incremental",
+        strict_values: bool = True,
+        **kwargs,
+    ) -> "TransactionService":
+        """A service with an attached online monitor built from the
+        engine's own initial state.
+
+        Args:
+            engine: the engine to front (its ``initial`` seeds the
+                monitor's version attribution).
+            model: the consistency model to certify against.
+            window: retain only this many commits as graph nodes
+                (:class:`~repro.monitor.windowed.WindowedMonitor`);
+                ``None`` keeps the full graph.
+            checker: certification back-end — ``"incremental"``
+                (default; dynamic-topological-order core, amortised
+                per-commit cost) or ``"rebuild"`` (full per-commit
+                recheck, the differential-testing oracle).
+            strict_values: as for :class:`ConsistencyMonitor`.
+            **kwargs: forwarded to the service constructor
+                (``max_concurrent``, ``max_retries``, ...).
+        """
+        from ..monitor.windowed import WindowedMonitor
+
+        if window is None:
+            monitor: ConsistencyMonitor = ConsistencyMonitor(
+                model=model,
+                initial_values=dict(engine.initial),
+                strict_values=strict_values,
+                init_tid=engine.init_tid,
+                checker=checker,
+            )
+        else:
+            monitor = WindowedMonitor(
+                window,
+                model=model,
+                initial_values=dict(engine.initial),
+                strict_values=strict_values,
+                init_tid=engine.init_tid,
+                checker=checker,
+            )
+        return cls(engine, monitor, **kwargs)
+
     def session(self, name: Optional[str] = None) -> "ServiceSession":
         """A new session handle (drive it from a single thread)."""
         if name is None:

@@ -1,0 +1,208 @@
+"""Differential parity: incremental checker vs the full-rebuild oracle.
+
+The incremental certification core must agree with the per-commit
+full-rebuild checker on every stream: same per-commit verdict while the
+stream is clean, and the same commit point (and detection at all) for
+the first violation.  After the first violation the two back-ends
+diverge by design — the rebuild oracle keeps the cyclic graph and
+re-flags it at every later commit, while the incremental core drops the
+cycle-closing edge and certifies the remainder — so comparisons run up
+to and including the first violation.
+
+Streams covered: randomised engine workloads, service-driven SmallBank
+and TPC-C commit streams, the anomaly catalog, and windowed monitors on
+all of the above shapes.
+"""
+
+import pytest
+
+from repro.anomalies import ALL_CASES, load as load_case
+from repro.monitor import ConsistencyMonitor, WindowedMonitor
+from repro.mvcc import (
+    PSIEngine,
+    Scheduler,
+    SerializableEngine,
+    SIEngine,
+)
+from repro.mvcc.workloads import random_workload
+from repro.service import MIXES, LoadGenerator, TransactionService
+
+MODELS = ConsistencyMonitor.MODELS
+
+
+def committed_stream(engine):
+    """The engine's commit stream as (tid, session, events) triples."""
+    return [
+        (r.tid, r.session, list(r.events))
+        for r in sorted(engine.committed, key=lambda r: r.commit_ts)
+    ]
+
+
+def run_to_first_violation(monitor, stream):
+    """Feed ``stream`` until the first violation.
+
+    Returns ``(verdicts, violation)`` where ``verdicts`` is the list of
+    per-commit outcomes (``None`` or the flagged tid) up to and
+    including the first violation.
+    """
+    verdicts = []
+    for tid, session, events in stream:
+        violation = monitor.observe_commit(tid, session, events)
+        verdicts.append(None if violation is None else violation.tid)
+        if violation is not None:
+            return verdicts, violation
+    return verdicts, None
+
+
+def assert_parity(stream, model, initial, init_tid="t_init", window=None):
+    """Both back-ends produce identical verdicts and commit points."""
+
+    def monitor_for(checker):
+        if window is None:
+            return ConsistencyMonitor(
+                model, dict(initial), init_tid=init_tid, checker=checker
+            )
+        return WindowedMonitor(
+            window,
+            model,
+            dict(initial),
+            init_tid=init_tid,
+            checker=checker,
+        )
+
+    inc_verdicts, inc_violation = run_to_first_violation(
+        monitor_for("incremental"), stream
+    )
+    reb_verdicts, reb_violation = run_to_first_violation(
+        monitor_for("rebuild"), stream
+    )
+    assert inc_verdicts == reb_verdicts, (model, window)
+    assert (inc_violation is None) == (reb_violation is None)
+    if inc_violation is not None:
+        assert inc_violation.tid == reb_violation.tid
+        # Both witnesses are genuine cycles.
+        for violation in (inc_violation, reb_violation):
+            assert violation.cycle, violation
+            assert violation.cycle[0] == violation.cycle[-1]
+    return inc_violation
+
+
+class TestRandomisedEngineStreams:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("model", MODELS)
+    def test_si_engine_streams(self, seed, model):
+        wl = random_workload(
+            seed, sessions=5, transactions_per_session=6, objects=4
+        )
+        engine = SIEngine(wl.initial)
+        Scheduler(engine, wl.sessions).run_random(seed)
+        assert_parity(committed_stream(engine), model, engine.initial,
+                      init_tid=engine.init_tid)
+
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("model", MODELS)
+    def test_ser_engine_streams(self, seed, model):
+        wl = random_workload(seed, sessions=4, transactions_per_session=5)
+        engine = SerializableEngine(wl.initial)
+        Scheduler(engine, wl.sessions).run_random(seed)
+        assert_parity(committed_stream(engine), model, engine.initial,
+                      init_tid=engine.init_tid)
+
+    @pytest.mark.parametrize("seed", range(3))
+    @pytest.mark.parametrize("model", MODELS)
+    def test_psi_engine_streams(self, seed, model):
+        wl = random_workload(seed, sessions=4, transactions_per_session=5)
+        engine = PSIEngine(wl.initial)
+        Scheduler(engine, wl.sessions).run_random(seed)
+        assert_parity(committed_stream(engine), model, engine.initial,
+                      init_tid=engine.init_tid)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_windowed_parity_on_si_streams(self, seed):
+        wl = random_workload(
+            seed, sessions=4, transactions_per_session=6, objects=3
+        )
+        engine = SIEngine(wl.initial)
+        Scheduler(engine, wl.sessions).run_random(seed)
+        stream = committed_stream(engine)
+        for model in MODELS:
+            assert_parity(stream, model, engine.initial,
+                          init_tid=engine.init_tid, window=8)
+
+
+class TestServiceDrivenStreams:
+    """SmallBank / TPC-C commit streams captured from the concurrent
+    service, then replayed through both certification back-ends."""
+
+    @pytest.mark.parametrize("mix_name", sorted(MIXES))
+    @pytest.mark.parametrize("seed", range(2))
+    def test_mix_streams(self, mix_name, seed):
+        mix = MIXES[mix_name]()
+        engine = SIEngine(dict(mix.initial))
+        service = TransactionService(engine, max_retries=100)
+        LoadGenerator(
+            service, mix, workers=4, transactions_per_worker=10, seed=seed
+        ).run()
+        stream = committed_stream(engine)
+        assert len(stream) >= 20
+        for model in MODELS:
+            assert_parity(stream, model, mix.initial,
+                          init_tid=engine.init_tid)
+            assert_parity(stream, model, mix.initial,
+                          init_tid=engine.init_tid, window=12)
+
+    def test_si_engine_smallbank_clean_under_si(self):
+        """Sanity: the SI engine's SmallBank stream certifies clean
+        under SI with the incremental checker."""
+        mix = MIXES["smallbank"]()
+        engine = SIEngine(dict(mix.initial))
+        service = TransactionService.certified(engine, model="SI",
+                                               max_retries=100)
+        result = LoadGenerator(
+            service, mix, workers=4, transactions_per_worker=10, seed=7
+        ).run()
+        assert result.violations == 0
+        assert service.monitor.consistent
+
+
+class TestAnomalyCatalogStreams:
+    """Every catalog history, fed in session-major commit order."""
+
+    @pytest.mark.parametrize("name", sorted(ALL_CASES))
+    @pytest.mark.parametrize("model", MODELS)
+    def test_catalog_parity(self, name, model):
+        case = load_case(name)
+        init_txn = case.history.by_tid(case.init_tid)
+        initial = {
+            obj: init_txn.final_write(obj)
+            for obj in init_txn.written_objects
+        }
+        stream = [
+            (txn.tid, f"s{i}", [e.op for e in txn.events])
+            for i, session in enumerate(case.history.sessions)
+            for txn in session
+            if txn.tid != case.init_tid
+        ]
+        try:
+            violation = assert_parity(
+                stream, model, initial, init_tid=case.init_tid
+            )
+        except Exception as exc:
+            from repro.monitor import MonitorError
+
+            if isinstance(exc, MonitorError):
+                # Attribution problems (reads of values this commit
+                # order cannot explain) are checker-independent: the
+                # rebuild monitor must reject identically.
+                monitor = ConsistencyMonitor(
+                    model, dict(initial), init_tid=case.init_tid,
+                    checker="rebuild",
+                )
+                with pytest.raises(MonitorError):
+                    for tid, session, events in stream:
+                        monitor.observe_commit(tid, session, events)
+                return
+            raise
+        if case.expected[model]:
+            # A history the model allows never trips the monitor.
+            assert violation is None, (name, model)
