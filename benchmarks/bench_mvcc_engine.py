@@ -112,3 +112,116 @@ def test_engine_report():
 
     assert aborts("read-heavy", "SER-OCC") >= aborts("read-heavy", "SI")
     assert aborts("disjoint", "SI") == 0
+
+
+# ----------------------------------------------------------------------
+# E25 (raw-engine side) — the store's O(log n) read path and the
+# striped-lock read throughput
+# ----------------------------------------------------------------------
+
+
+def test_bench_read_at_is_sublinear_in_chain_length():
+    """Bisect read path: growing the chain 32x must not grow per-read
+    cost anywhere near 32x (it was O(n) before the restructure)."""
+    import time as _time
+
+    from repro.mvcc.store import MVStore
+
+    rows = []
+    costs = {}
+    for length in (1024, 32768):
+        store = MVStore({"x": 0})
+        for i in range(1, length + 1):
+            store.install({"x": i}, commit_ts=i, writer=f"t{i}")
+        reads = 20_000
+        started = _time.perf_counter()
+        for i in range(reads):
+            store.read_at("x", (i * 7919) % length)
+        elapsed = _time.perf_counter() - started
+        costs[length] = elapsed / reads
+        rows.append(
+            (length, reads, f"{reads / elapsed:,.0f}",
+             f"{costs[length] * 1e6:.2f}")
+        )
+    print_table(
+        "Snapshot read cost vs version-chain length (bisect path)",
+        ["chain length", "reads", "reads/s", "us/read"],
+        rows,
+    )
+    assert costs[32768] < costs[1024] * 4, costs
+
+
+def test_bench_vacuum_single_bisect():
+    """Vacuum cost: one bisect + one slice per object, so trimming a
+    store of long chains is quick and drop counts are exact."""
+    import time as _time
+
+    from repro.mvcc.store import MVStore
+
+    objects, versions = 64, 256
+    store = MVStore({f"o{i}": 0 for i in range(objects)})
+    for ts in range(1, versions + 1):
+        store.install(
+            {f"o{i}": ts for i in range(objects)},
+            commit_ts=ts,
+            writer=f"t{ts}",
+        )
+    started = _time.perf_counter()
+    dropped = store.vacuum(horizon_ts=versions // 2)
+    elapsed = _time.perf_counter() - started
+    # Each object keeps versions horizon..latest plus the horizon one.
+    assert dropped == objects * (versions // 2)
+    assert store.vacuum(horizon_ts=versions // 2) == 0  # idempotent
+    print(
+        f"\nvacuum: dropped {dropped} versions across {objects} "
+        f"objects in {elapsed * 1000:.1f}ms"
+    )
+    for i in range(objects):
+        assert store.read_at(f"o{i}", versions // 2).value == versions // 2
+
+
+def test_bench_threaded_snapshot_reads_report():
+    """Aggregate multi-threaded read throughput, striped (lock-free
+    read path) vs global-lock (every read takes the engine lock)."""
+    import threading as _threading
+    import time as _time
+
+    rows = []
+    for lock_mode in ("striped", "global-lock"):
+        engine = SIEngine(
+            {f"o{i}": 0 for i in range(16)}, lock_mode=lock_mode
+        )
+        for ts in range(1, 65):
+            ctx = engine.begin("seed")
+            engine.write(ctx, f"o{ts % 16}", ts)
+            engine.commit(ctx)
+        threads, reads_per_thread = 4, 5_000
+        errors = []
+
+        def reader(index):
+            try:
+                ctx = engine.begin(f"r{index}")
+                for n in range(reads_per_thread):
+                    engine.read(ctx, f"o{(index + n) % 16}")
+                engine.commit(ctx)
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        pool = [
+            _threading.Thread(target=reader, args=(i,))
+            for i in range(threads)
+        ]
+        started = _time.perf_counter()
+        for t in pool:
+            t.start()
+        for t in pool:
+            t.join()
+        elapsed = _time.perf_counter() - started
+        assert not errors, errors
+        total = threads * reads_per_thread
+        rows.append((lock_mode, threads, total, f"{total / elapsed:,.0f}"))
+    print_table(
+        "Aggregate snapshot-read throughput, 4 reader threads",
+        ["lock mode", "threads", "reads", "reads/s"],
+        rows,
+    )

@@ -165,20 +165,23 @@ SERVE_ENGINES = ("SI", "SER", "PSI", "2PL")
 """Engine keys accepted by ``serve-bench`` (plus ``all``)."""
 
 
-def _serve_engine(key: str, initial):
+def _serve_engine(key: str, initial, lock_mode: str = "striped"):
     from ..mvcc import PSIEngine, SerializableEngine, SIEngine
     from ..mvcc.locking import TwoPhaseLockingEngine
 
     if key == "SI":
-        return SIEngine(initial), "SI"
+        return SIEngine(initial, lock_mode=lock_mode), "SI"
     if key == "SER":
-        return SerializableEngine(initial), "SER"
+        return SerializableEngine(initial, lock_mode=lock_mode), "SER"
     if key == "PSI":
         # Eager propagation: each worker session gets its own replica,
         # so lazy delivery would just starve every remote read.
-        return PSIEngine(initial, auto_deliver=True), "PSI"
+        return (
+            PSIEngine(initial, auto_deliver=True, lock_mode=lock_mode),
+            "PSI",
+        )
     if key == "2PL":
-        return TwoPhaseLockingEngine(initial), "SER"
+        return TwoPhaseLockingEngine(initial, lock_mode=lock_mode), "SER"
     raise KeyError(key)
 
 
@@ -200,7 +203,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     total_violations = 0
     for key in engines:
         mix = MIXES[args.mix]()
-        engine, model = _serve_engine(key, dict(mix.initial))
+        engine, model = _serve_engine(
+            key, dict(mix.initial), lock_mode=args.lock_mode
+        )
         try:
             service = TransactionService.certified(
                 engine,
@@ -209,6 +214,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                 checker=args.checker,
                 max_concurrent=args.max_concurrent,
                 max_retries=args.max_retries,
+                monitor_mode=args.monitor_mode,
             )
             result = LoadGenerator(
                 service,
@@ -217,7 +223,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                 transactions_per_worker=args.txns,
                 duration=args.duration,
                 seed=args.seed,
+                think_time=args.think_time,
             ).run()
+            service.close()
         except ReproError as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
@@ -225,6 +233,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         metrics = service.metrics.snapshot()
         report["engines"][key] = {
             "monitor_model": model,
+            "monitor_mode": args.monitor_mode,
+            "lock_mode": args.lock_mode,
             "committed": result.committed,
             "retry_exhausted": result.retry_exhausted,
             "violations": result.violations,
@@ -402,6 +412,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="wall-clock cutoff in seconds",
     )
     p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument(
+        "--monitor-mode", choices=["sync", "pipelined"], default="sync",
+        help="feed the monitor inside the commit critical section "
+             "(sync — certification) or through the bounded async "
+             "feed (pipelined — observe-only)",
+    )
+    p_serve.add_argument(
+        "--lock-mode", choices=["striped", "global-lock"],
+        default="striped",
+        help="engine locking: striped per-object locks with lock-free "
+             "snapshot reads (default) or one global engine lock",
+    )
+    p_serve.add_argument(
+        "--think-time", type=float, default=0.0,
+        help="per-transaction client think time in seconds",
+    )
     p_serve.add_argument(
         "--json", metavar="FILE", default=None,
         help="write the per-engine metrics report as JSON",

@@ -24,11 +24,17 @@ Version attribution survives eviction: the per-object value table
 keeps the attribution of each object's *current* version even when its
 writer has been evicted (a later reader of that version is then placed
 after the eviction frontier — it gains anti-dependencies to all
-retained overwriters, but no WR edge to the dead node), while
-attributions of superseded versions by evicted writers are dropped.  A
-read of such a dropped version is exactly a read older than the
-window; in strict mode it is reported as unattributable rather than
-silently misclassified.
+retained overwriters, but no WR edge to the dead node).  A *superseded*
+version's attribution is kept until the transaction that overwrote it
+is itself evicted: what bounds a read's staleness is how long ago the
+version was *overwritten*, not how long ago it was written (an
+in-flight snapshot can legitimately return a version whose writer left
+the window long ago, as long as the overwrite is recent).  Only once
+the overwriter has also aged out of the window is the attribution
+dropped; in strict mode a read of such a version is reported as
+unattributable rather than silently misclassified.  Retained stale
+attributions are bounded by the number of in-window overwrites, so
+memory stays O(window + objects).
 """
 
 from __future__ import annotations
@@ -75,6 +81,10 @@ class WindowedMonitor(ConsistencyMonitor):
         self.window = window
         self.evicted_count = 0
         self._evicted: Set[str] = set()
+        # Per retained commit: the (obj, value) attributions its writes
+        # superseded — dropped from the value table when *it* is
+        # evicted (see the module docstring on staleness horizons).
+        self._superseded_by: Dict[str, List[tuple]] = {}
 
     # ------------------------------------------------------------------
     # Observation
@@ -89,7 +99,19 @@ class WindowedMonitor(ConsistencyMonitor):
                 f"transaction {tid!r} observed twice (first occurrence "
                 f"already garbage-collected)"
             )
+        previous = {
+            op.obj: self._latest_value[op.obj]
+            for op in events
+            if op.is_write and op.obj in self._latest_value
+        }
         violation = super().observe_commit(tid, session, events)
+        superseded = [
+            (obj, value)
+            for obj, value in previous.items()
+            if self._latest_value.get(obj) != value
+        ]
+        if superseded:
+            self._superseded_by[tid] = superseded
         while len(self._commit_order) > self.window:
             self._evict(self._commit_order.pop(0))
         self._prune_evicted_set()
@@ -146,29 +168,34 @@ class WindowedMonitor(ConsistencyMonitor):
             seq = self._writers.get(obj)
             if seq and old in seq:
                 seq.remove(old)
+        # The versions ``old`` overwrote have now been stale for a full
+        # window: no attributable read can still return them.  (The
+        # versions ``old`` *wrote* stay attributed until their own
+        # overwriters are evicted.)
+        for obj, value in self._superseded_by.pop(old, ()):
             table = self._value_writer.get(obj, {})
-            for value in [v for v, w in table.items() if w == old]:
-                # Keep the attribution of the object's current version
-                # (future reads may still return it); drop superseded
-                # versions — a read of one would be older than the
-                # window anyway.
-                if self._latest_value.get(obj) != value:
-                    del table[value]
+            if value in table and self._latest_value.get(obj) != value:
+                del table[value]
 
     def _prune_evicted_set(self) -> None:
         """Forget evicted tids nothing references any more, keeping the
         tombstone set (and so total memory) bounded by the window."""
-        if len(self._evicted) <= self.window + len(self._latest_value):
+        retained_attributions = sum(
+            len(table) for table in self._value_writer.values()
+        )
+        if len(self._evicted) <= self.window + retained_attributions:
             return
         referenced = {
             version
             for readers in self._readers.values()
             for version in readers.values()
         }
-        for obj, value in self._latest_value.items():
-            writer = self._value_writer.get(obj, {}).get(value)
-            if writer is not None:
-                referenced.add(writer)
+        for table in self._value_writer.values():
+            # Every retained attribution (current or superseded-but-
+            # still-readable) keeps its writer's tombstone: a later
+            # read of that value must see the writer as evicted, not
+            # as an unknown live node.
+            referenced.update(table.values())
         self._evicted &= referenced
 
     # ------------------------------------------------------------------

@@ -9,21 +9,38 @@ needed to reconstruct the declarative objects of the theory:
   reflect what the implementation actually did (which snapshot each
   transaction took, in which order transactions committed).
 
-The engines are single-process and deterministic: all interleaving is
-decided by the caller (directly or through
-:mod:`repro.mvcc.runtime`'s scheduler), so anomaly runs are replayable.
+The engines are single-process and deterministic under caller-decided
+interleaving (directly or through :mod:`repro.mvcc.runtime`'s
+scheduler), so anomaly runs are replayable.
 
-Thread-safety: every public engine operation (``begin``, ``read``,
-``write``, ``commit``, ``abort``, the reconstruction views) is atomic
-under the engine's reentrant :attr:`BaseEngine.lock`, so an engine may
-be hammered from many threads — each operation is one linearizable
-step, and the interleaving of steps is then decided by the OS scheduler
-instead of a replayable schedule.  Holding :attr:`BaseEngine.lock`
-across several calls makes the whole group atomic; the service layer
-(:mod:`repro.service`) uses this to feed an online monitor in true
-commit order.  The single remaining caller obligation is per-session:
-a session's transactions must be issued sequentially (the engines
-check this), so give each thread its own session.
+Thread-safety and lock modes.  Every engine runs in one of two modes:
+
+* ``lock_mode="striped"`` (the default) — the fine-grained fast path.
+  Snapshot reads take **no engine-wide lock**: a snapshot timestamp
+  plus the store's immutable version chains are enough (SI never blocks
+  readers, and neither do we).  Commit takes the short
+  :attr:`BaseEngine.lock` **commit mutex** covering exactly
+  validate + install + timestamp allocation; per-session bookkeeping
+  (open sessions, tid allocation, abort counters, vacuum pins) lives
+  under its own small :attr:`_session_lock`; per-object chain mutations
+  use the store's striped locks.  The lock hierarchy is
+  ``commit mutex > session lock > store stripes`` — a thread holding a
+  lock may only acquire locks strictly to the right, so the engine is
+  deadlock-free by construction.
+* ``lock_mode="global-lock"`` — the compatibility mode: every public
+  operation additionally serialises under :attr:`BaseEngine.lock`, so
+  each operation is one linearizable step exactly as in the original
+  coarse-grained engines.  The deterministic replayable scheduler works
+  identically in both modes (it is single-threaded, so the locks never
+  contend); the mode exists so lock-granularity bugs can be bisected by
+  diffing runs.
+
+In both modes, holding :attr:`BaseEngine.lock` across several calls
+makes the whole group atomic with respect to *commits* (the service
+layer uses this to feed an online monitor in true commit order).  The
+single remaining caller obligation is per-session: a session's
+transactions must be issued sequentially (the engines check this), so
+give each thread its own session.
 
 Transactions follow the client discipline of Section 5: an aborted
 transaction raises :class:`TransactionAborted` and is expected to be
@@ -45,6 +62,19 @@ from ..core.executions import AbstractExecution
 from ..core.histories import History
 from ..core.relations import Relation
 from ..core.transactions import Transaction
+
+LOCK_MODES = ("striped", "global-lock")
+"""The engine locking modes (see the module docstring)."""
+
+
+class _NoLock:
+    """A no-op reentrant context manager standing in for a lock."""
+
+    def __enter__(self) -> "_NoLock":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
 
 
 class TxStatus(enum.Enum):
@@ -115,26 +145,64 @@ class EngineStats:
 class BaseEngine(abc.ABC):
     """Common API of the operational engines.
 
-    Subclasses implement :meth:`begin`, :meth:`read` and :meth:`commit`;
-    writes and aborts are shared.  Sessions are identified by strings;
-    within a session the caller must run transactions sequentially (the
-    engines check this).
+    Subclasses implement :meth:`_make_context`, :meth:`read` and
+    :meth:`commit`; writes and aborts are shared.  Sessions are
+    identified by strings; within a session the caller must run
+    transactions sequentially (the engines check this).
+
+    Args:
+        initial: initial object values.
+        init_tid: tid of the implied initialisation transaction.
+        lock_mode: ``"striped"`` (fine-grained, the default) or
+            ``"global-lock"`` (every operation under one lock — the
+            original coarse-grained behaviour, kept for bisection).
     """
 
-    def __init__(self, initial: Mapping[Obj, Value], init_tid: str = "t_init"):
+    def __init__(
+        self,
+        initial: Mapping[Obj, Value],
+        init_tid: str = "t_init",
+        lock_mode: str = "striped",
+    ):
         if not initial:
             raise StoreError("engine needs at least one initial object")
+        if lock_mode not in LOCK_MODES:
+            raise StoreError(
+                f"unknown lock_mode {lock_mode!r}; expected one of "
+                f"{LOCK_MODES}"
+            )
         self.initial: Dict[Obj, Value] = dict(initial)
         self.init_tid = init_tid
+        self.lock_mode = lock_mode
         self.stats = EngineStats()
         self.committed: List[CommitRecord] = []
         self.lock = threading.RLock()
-        """Reentrant lock making each engine operation one atomic step.
-
-        Callers may hold it across several calls to group them into one
-        atomic action (e.g. commit + monitor notification)."""
+        """The commit mutex: validate + install + timestamp allocation
+        happen under it, so commits are totally ordered.  Callers may
+        hold it across several calls to group them into one atomic
+        action with respect to commits (e.g. commit + monitor
+        notification).  In ``global-lock`` mode every other operation
+        serialises under it too."""
+        if lock_mode == "global-lock":
+            # One lock for everything: session bookkeeping and reads
+            # alias the commit mutex, restoring operation-level global
+            # serialisation.
+            self._session_lock: threading.RLock = self.lock
+            self._read_guard = self.lock
+        else:
+            self._session_lock = threading.RLock()
+            """Small leaf lock for per-session state: open sessions,
+            tid allocation, abort counters, subclass vacuum pins.
+            Never held while acquiring another lock."""
+            self._read_guard = _NoLock()
+            """Snapshot reads are lock-free in striped mode."""
         self._next_tid = 1
         self._open_sessions: Set[str] = set()
+        # Reconstruction cache: committed[i] converted to a Transaction,
+        # filled lazily by history()/abstract_execution().  `committed`
+        # is append-only, so a converted prefix never invalidates.
+        self._reconstruction_lock = threading.Lock()
+        self._converted: List[Transaction] = []
 
     # ------------------------------------------------------------------
     # Transaction API
@@ -142,14 +210,19 @@ class BaseEngine(abc.ABC):
 
     def begin(self, session: str) -> TxContext:
         """Start a transaction in ``session`` (one at a time per session)."""
-        with self.lock:
+        with self._session_lock:
             if session in self._open_sessions:
                 raise StoreError(
                     f"session {session!r} already has an active transaction"
                 )
             self._open_sessions.add(session)
-            ctx = self._make_context(session)
-            return ctx
+            tid = self._allocate_tid()
+        try:
+            return self._make_context(session, tid)
+        except BaseException:
+            with self._session_lock:
+                self._open_sessions.discard(session)
+            raise
 
     def _allocate_tid(self) -> str:
         tid = f"t{self._next_tid}"
@@ -157,7 +230,7 @@ class BaseEngine(abc.ABC):
         return tid
 
     @abc.abstractmethod
-    def _make_context(self, session: str) -> TxContext:
+    def _make_context(self, session: str, tid: str) -> TxContext:
         """Create the context (take the snapshot)."""
 
     @abc.abstractmethod
@@ -166,7 +239,7 @@ class BaseEngine(abc.ABC):
 
     def write(self, ctx: TxContext, obj: Obj, value: Value) -> None:
         """Buffer a write of ``value`` to ``obj``."""
-        with self.lock:
+        with self._read_guard:
             ctx.ensure_active()
             if obj not in self.initial:
                 raise StoreError(f"unknown object {obj!r}")
@@ -182,17 +255,19 @@ class BaseEngine(abc.ABC):
     def abort(self, ctx: TxContext, reason: str = "client abort") -> None:
         """Abort an active transaction (also used internally on
         validation failure)."""
-        with self.lock:
+        with self._session_lock:
             ctx.ensure_active()
             ctx.status = TxStatus.ABORTED
             self._open_sessions.discard(ctx.session)
             self.stats.record_abort(reason)
 
     def _finish_commit(self, ctx: TxContext, record: CommitRecord) -> None:
+        """Publish a validated commit (caller holds the commit mutex)."""
         ctx.status = TxStatus.COMMITTED
-        self._open_sessions.discard(ctx.session)
         self.committed.append(record)
         self.stats.commits += 1
+        with self._session_lock:
+            self._open_sessions.discard(ctx.session)
 
     def _validation_failure(
         self, ctx: TxContext, reason: str
@@ -216,23 +291,51 @@ class BaseEngine(abc.ABC):
         ops = [write_op(obj, self.initial[obj]) for obj in sorted(self.initial)]
         return transaction(self.init_tid, *ops)
 
+    def _committed_snapshot(self) -> List[CommitRecord]:
+        """A stable prefix of the commit log (under the commit mutex)."""
+        with self.lock:
+            return list(self.committed)
+
+    def _transactions_for(
+        self, committed: List[CommitRecord]
+    ) -> List[Transaction]:
+        """Committed records as Transactions, via the incremental cache.
+
+        Only records beyond the cached prefix are converted; repeated
+        reconstruction calls during a run never re-convert old records.
+        Runs outside the engine locks (conversion can be expensive), so
+        it never blocks the transaction hot path.
+        """
+        with self._reconstruction_lock:
+            while len(self._converted) < len(committed):
+                rec = committed[len(self._converted)]
+                self._converted.append(
+                    Transaction(
+                        rec.tid,
+                        tuple(
+                            _indexed_event(i, op)
+                            for i, op in enumerate(rec.events)
+                        ),
+                    )
+                )
+            return self._converted[: len(committed)]
+
     def history(self) -> History:
         """The history of committed transactions, initialisation first.
 
         Sessions appear in first-commit order; within a session,
-        transactions appear in execution order.
+        transactions appear in execution order.  Only the commit-log
+        snapshot happens under the engine lock; all Transaction
+        construction runs outside it (and is cached across calls).
         """
+        committed = self._committed_snapshot()
+        return self._history_from(committed)
+
+    def _history_from(self, committed: List[CommitRecord]) -> History:
+        txns = self._transactions_for(committed)
         sessions: Dict[str, List[Transaction]] = {}
         order: List[str] = []
-        with self.lock:
-            committed = list(self.committed)
-        for rec in committed:
-            t = Transaction(
-                rec.tid,
-                tuple(
-                    _indexed_event(i, op) for i, op in enumerate(rec.events)
-                ),
-            )
+        for rec, t in zip(committed, txns):
             if rec.session not in sessions:
                 sessions[rec.session] = []
                 order.append(rec.session)
@@ -247,11 +350,13 @@ class BaseEngine(abc.ABC):
 
         VIS edges are the recorded snapshot inclusions (plus the
         initialisation transaction, visible to everyone); CO follows the
-        engine's commit timestamps.
+        engine's commit timestamps.  Built from one consistent
+        commit-log snapshot, with all Relation construction outside the
+        engine lock.
         """
-        with self.lock:
-            h = self.history()
-            records = sorted(self.committed, key=lambda r: r.commit_ts)
+        committed = self._committed_snapshot()
+        h = self._history_from(committed)
+        records = sorted(committed, key=lambda r: r.commit_ts)
         by_tid = {t.tid: t for t in h.transactions}
         init = by_tid[self.init_tid]
         vis: Set[Tuple[Transaction, Transaction]] = set()

@@ -18,11 +18,20 @@ Writes go through the same multi-version store as the other engines (so
 histories/executions are reconstructed identically); reads return the
 latest committed version, which under S2PL is also the version at the
 reader's serialisation point.
+
+Concurrency: the lock table is one shared structure, so it carries its
+own internal mutex (a leaf in the lock hierarchy — taken after the
+commit mutex, never while holding it does the table acquire anything
+else).  Read operations in striped mode touch only the table mutex and
+the store's lock-free ``latest`` — reading the newest version without
+the engine lock is safe precisely because the held S-lock excludes any
+concurrent writer of that object from committing.
 """
 
 from __future__ import annotations
 
 import enum
+import threading
 from typing import Dict, Mapping, Optional, Set
 
 from ..core.errors import TransactionAborted
@@ -39,21 +48,34 @@ class LockMode(enum.Enum):
 
 
 class LockTable:
-    """A per-object S/X lock table with no-wait conflict resolution."""
+    """A per-object S/X lock table with no-wait conflict resolution.
+
+    All methods are atomic under an internal mutex, so the table can be
+    shared by concurrently-running transactions without an engine-wide
+    lock.
+    """
 
     def __init__(self):
+        self._mutex = threading.RLock()
         self._shared: Dict[Obj, Set[str]] = {}
         self._exclusive: Dict[Obj, str] = {}
 
     def holders(self, obj: Obj) -> Set[str]:
         """All transactions holding any lock on ``obj``."""
-        out = set(self._shared.get(obj, set()))
-        if obj in self._exclusive:
-            out.add(self._exclusive[obj])
-        return out
+        with self._mutex:
+            out = set(self._shared.get(obj, set()))
+            if obj in self._exclusive:
+                out.add(self._exclusive[obj])
+            return out
 
     def can_acquire(self, tid: str, obj: Obj, mode: LockMode) -> bool:
         """Whether ``tid`` may take the lock right now."""
+        with self._mutex:
+            return self._can_acquire_locked(tid, obj, mode)
+
+    def _can_acquire_locked(
+        self, tid: str, obj: Obj, mode: LockMode
+    ) -> bool:
         exclusive = self._exclusive.get(obj)
         if exclusive is not None and exclusive != tid:
             return False
@@ -64,45 +86,54 @@ class LockTable:
 
     def acquire(self, tid: str, obj: Obj, mode: LockMode) -> bool:
         """Try to take (or upgrade to) the lock; False on conflict."""
-        if not self.can_acquire(tid, obj, mode):
-            return False
-        if mode is LockMode.SHARED:
-            if self._exclusive.get(obj) == tid:
-                return True  # X subsumes S
-            self._shared.setdefault(obj, set()).add(tid)
-        else:
-            self._shared.get(obj, set()).discard(tid)
-            self._exclusive[obj] = tid
-        return True
+        with self._mutex:
+            if not self._can_acquire_locked(tid, obj, mode):
+                return False
+            if mode is LockMode.SHARED:
+                if self._exclusive.get(obj) == tid:
+                    return True  # X subsumes S
+                self._shared.setdefault(obj, set()).add(tid)
+            else:
+                self._shared.get(obj, set()).discard(tid)
+                self._exclusive[obj] = tid
+            return True
 
     def release_all(self, tid: str) -> None:
         """Drop every lock held by ``tid`` (commit/abort)."""
-        for holders in self._shared.values():
-            holders.discard(tid)
-        for obj in [o for o, t in self._exclusive.items() if t == tid]:
-            del self._exclusive[obj]
+        with self._mutex:
+            for holders in self._shared.values():
+                holders.discard(tid)
+            for obj in [
+                o for o, t in self._exclusive.items() if t == tid
+            ]:
+                del self._exclusive[obj]
 
 
 class TwoPhaseLockingEngine(BaseEngine):
     """Strict 2PL with no-wait conflict handling — always serializable."""
 
-    def __init__(self, initial: Mapping[Obj, Value], init_tid: str = "t_init"):
-        super().__init__(initial, init_tid)
+    def __init__(
+        self,
+        initial: Mapping[Obj, Value],
+        init_tid: str = "t_init",
+        lock_mode: str = "striped",
+    ):
+        super().__init__(initial, init_tid, lock_mode=lock_mode)
         self.store = MVStore(initial, init_writer=init_tid)
         self.locks = LockTable()
         self._clock = 0
 
-    def _make_context(self, session: str) -> TxContext:
+    def _make_context(self, session: str, tid: str) -> TxContext:
         # start_ts records begin time for bookkeeping; reads do not use
         # it (S2PL reads current committed state under lock).
-        return TxContext(
-            tid=self._allocate_tid(), session=session, start_ts=self._clock
-        )
+        return TxContext(tid=tid, session=session, start_ts=self._clock)
 
     def read(self, ctx: TxContext, obj: Obj) -> Value:
         """Acquire a shared lock, then read the latest committed value
-        (own buffered writes first)."""
-        with self.lock:
+        (own buffered writes first).  The S-lock pins the version: no
+        writer of ``obj`` can commit while it is held, so the lock-free
+        ``latest`` is stable."""
+        with self._read_guard:
             ctx.ensure_active()
             if obj in ctx.write_buffer:
                 return self._record_read(ctx, obj, ctx.write_buffer[obj])
@@ -113,7 +144,7 @@ class TwoPhaseLockingEngine(BaseEngine):
 
     def write(self, ctx: TxContext, obj: Obj, value: Value) -> None:
         """Acquire an exclusive lock, then buffer the write."""
-        with self.lock:
+        with self._read_guard:
             ctx.ensure_active()
             if not self.locks.acquire(ctx.tid, obj, LockMode.EXCLUSIVE):
                 raise self._lock_failure(ctx, obj, LockMode.EXCLUSIVE)
@@ -144,9 +175,8 @@ class TwoPhaseLockingEngine(BaseEngine):
 
     def abort(self, ctx: TxContext, reason: str = "client abort") -> None:
         """Abort and release every held lock (strictness)."""
-        with self.lock:
-            self.locks.release_all(ctx.tid)
-            super().abort(ctx, reason)
+        self.locks.release_all(ctx.tid)
+        super().abort(ctx, reason)
 
     def _lock_failure(
         self, ctx: TxContext, obj: Obj, mode: LockMode

@@ -52,6 +52,7 @@ class PSIEngine(BaseEngine):
         init_tid: str = "t_init",
         session_replicas: Optional[Mapping[str, str]] = None,
         auto_deliver: bool = False,
+        lock_mode: str = "striped",
     ):
         """
         Args:
@@ -63,8 +64,14 @@ class PSIEngine(BaseEngine):
             auto_deliver: when True, every commit is propagated to all
                 replicas immediately (useful as an "SI-like" reference
                 configuration in benchmarks).
+            lock_mode: as for :class:`BaseEngine`.  Replica state and
+                the delivery queue always serialise under the commit
+                mutex (snapshot capture must not observe a half-applied
+                commit); in striped mode the *reads* are nevertheless
+                lock-free — they touch only the private snapshot dict
+                captured at begin.
         """
-        super().__init__(initial, init_tid)
+        super().__init__(initial, init_tid, lock_mode=lock_mode)
         self._session_replicas: Dict[str, str] = dict(session_replicas or {})
         self._replicas: Dict[str, Replica] = {}
         self._commit_index = 0
@@ -102,20 +109,24 @@ class PSIEngine(BaseEngine):
     # BaseEngine hooks
     # ------------------------------------------------------------------
 
-    def _make_context(self, session: str) -> TxContext:
-        replica = self.replica_of(session)
-        ctx = TxContext(
-            tid=self._allocate_tid(), session=session, start_ts=-1
-        )
-        self._snapshots[ctx.tid] = (
-            dict(replica.state),
-            frozenset(replica.applied),
-        )
-        return ctx
+    def _make_context(self, session: str, tid: str) -> TxContext:
+        # Snapshot capture must be atomic with respect to commits
+        # applying writes at the replica, so it runs under the commit
+        # mutex (begin holds no other lock here).
+        with self.lock:
+            replica = self.replica_of(session)
+            ctx = TxContext(tid=tid, session=session, start_ts=-1)
+            self._snapshots[ctx.tid] = (
+                dict(replica.state),
+                frozenset(replica.applied),
+            )
+            return ctx
 
     def read(self, ctx: TxContext, obj: Obj) -> Value:
-        """Read from the write buffer, else from the replica snapshot."""
-        with self.lock:
+        """Read from the write buffer, else from the replica snapshot
+        (lock-free in striped mode: the snapshot is a private copy only
+        this session's thread dereferences)."""
+        with self._read_guard:
             ctx.ensure_active()
             if obj in ctx.write_buffer:
                 return self._record_read(ctx, obj, ctx.write_buffer[obj])

@@ -10,6 +10,11 @@ history level, checked in the tests via Theorem 8's GraphSER condition).
 
 This is the baseline the paper compares SI against (write skew is aborted
 here, admitted by :class:`~repro.mvcc.si.SIEngine`).
+
+Concurrency: reads stay lock-free in striped mode — the per-transaction
+read set is only touched by the session's own thread, so tracking it
+needs no engine lock.  Read-set validation joins SI's write-set
+validation inside the commit mutex.
 """
 
 from __future__ import annotations
@@ -25,18 +30,24 @@ class SerializableEngine(SIEngine):
     """Optimistic concurrency control over the multi-version store:
     snapshot reads, commit-time read- and write-set validation."""
 
-    def __init__(self, initial: Mapping[Obj, Value], init_tid: str = "t_init"):
-        super().__init__(initial, init_tid)
+    def __init__(
+        self,
+        initial: Mapping[Obj, Value],
+        init_tid: str = "t_init",
+        lock_mode: str = "striped",
+    ):
+        super().__init__(initial, init_tid, lock_mode=lock_mode)
         self._read_sets: dict = {}
 
-    def _make_context(self, session: str) -> TxContext:
-        ctx = super()._make_context(session)
-        self._read_sets[ctx.tid] = set()
+    def _make_context(self, session: str, tid: str) -> TxContext:
+        ctx = super()._make_context(session, tid)
+        with self._session_lock:
+            self._read_sets[ctx.tid] = set()
         return ctx
 
     def read(self, ctx: TxContext, obj: Obj) -> Value:
         """Snapshot read, additionally tracked for commit validation."""
-        with self.lock:
+        with self._read_guard:
             value = super().read(ctx, obj)
             self._read_sets[ctx.tid].add(obj)
             return value
@@ -56,11 +67,12 @@ class SerializableEngine(SIEngine):
             try:
                 return super().commit(ctx)
             finally:
-                self._read_sets.pop(ctx.tid, None)
+                with self._session_lock:
+                    self._read_sets.pop(ctx.tid, None)
 
     def abort(self, ctx: TxContext, reason: str = "client abort") -> None:
         """Abort and drop the tracked read set (it would otherwise leak
         under a long-running service's abort/retry churn)."""
-        with self.lock:
+        with self._session_lock:
             self._read_sets.pop(ctx.tid, None)
             super().abort(ctx, reason)

@@ -23,6 +23,15 @@ session's earlier transactions are always in later snapshots) and its runs
 satisfy the SI axioms — Theorem 10(ii) then guarantees the extracted
 dependency graphs land in GraphSI, which the test-suite checks on every
 recorded run.
+
+Concurrency.  In striped mode reads are entirely lock-free: the start
+timestamp plus the store's immutable chains pin the snapshot, so a read
+is one binary search.  The commit critical section (the commit mutex)
+covers only first-committer-wins validation, the install, and the
+clock bump.  The clock is *published last* — writes are installed at
+``clock + 1`` and only then does the counter advance — so a concurrent
+``begin`` can never observe a timestamp whose versions are still being
+installed (snapshots are always closed under the versions they admit).
 """
 
 from __future__ import annotations
@@ -39,8 +48,13 @@ class SIEngine(BaseEngine):
     """Single-node multi-version snapshot isolation with
     first-committer-wins write-conflict detection."""
 
-    def __init__(self, initial: Mapping[Obj, Value], init_tid: str = "t_init"):
-        super().__init__(initial, init_tid)
+    def __init__(
+        self,
+        initial: Mapping[Obj, Value],
+        init_tid: str = "t_init",
+        lock_mode: str = "striped",
+    ):
+        super().__init__(initial, init_tid, lock_mode=lock_mode)
         self.store = MVStore(initial, init_writer=init_tid)
         self._clock = 0
         self._active_start_ts: dict = {}
@@ -49,20 +63,24 @@ class SIEngine(BaseEngine):
     # BaseEngine hooks
     # ------------------------------------------------------------------
 
-    def _make_context(self, session: str) -> TxContext:
-        ctx = TxContext(
-            tid=self._allocate_tid(), session=session, start_ts=self._clock
-        )
-        self._active_start_ts[ctx.tid] = ctx.start_ts
+    def _make_context(self, session: str, tid: str) -> TxContext:
+        # Reading the clock needs no lock: commits publish it only
+        # after their writes are installed, so any observed value
+        # denotes a fully-materialised snapshot.
+        ctx = TxContext(tid=tid, session=session, start_ts=self._clock)
+        with self._session_lock:
+            self._active_start_ts[ctx.tid] = ctx.start_ts
         return ctx
 
     def read(self, ctx: TxContext, obj: Obj) -> Value:
         """Read from the write buffer, else from the start snapshot.
 
-        A read that needs a vacuumed version aborts the transaction
-        (snapshot too old); the client retries with a fresh snapshot.
+        Lock-free in striped mode (one bisect on the object's immutable
+        chain).  A read that needs a vacuumed version aborts the
+        transaction (snapshot too old); the client retries with a fresh
+        snapshot.
         """
-        with self.lock:
+        with self._read_guard:
             ctx.ensure_active()
             if obj in ctx.write_buffer:
                 return self._record_read(ctx, obj, ctx.write_buffer[obj])
@@ -87,25 +105,35 @@ class SIEngine(BaseEngine):
         current clock regardless of active snapshots — long-running
         transactions may subsequently abort with "snapshot too old",
         reproducing the classic MVCC trade-off.
+
+        Safe to run concurrently with readers: the horizon is computed
+        under the session lock, and the store swaps trimmed chains in
+        atomically, so a racing reader sees either the old or the new
+        chain — never a torn one.  A later ``begin`` always snapshots
+        at or above any horizon computed earlier.
         """
-        with self.lock:
+        with self._session_lock:
             if aggressive or not self._active_start_ts:
                 horizon = self._clock
             else:
                 horizon = min(self._active_start_ts.values())
-            return self.store.vacuum(horizon)
+        return self.store.vacuum(horizon)
 
     def abort(self, ctx: TxContext, reason: str = "client abort") -> None:
         """Abort and release the snapshot's vacuum pin."""
-        with self.lock:
+        with self._session_lock:
             self._active_start_ts.pop(ctx.tid, None)
             super().abort(ctx, reason)
 
     def commit(self, ctx: TxContext) -> CommitRecord:
-        """First-committer-wins validation, then atomic install."""
+        """First-committer-wins validation, then atomic install.
+
+        The commit mutex covers validation, timestamp allocation and
+        the install; the clock is published after the install so
+        concurrent snapshot reads never see a half-visible commit.
+        """
         with self.lock:
             ctx.ensure_active()
-            self._active_start_ts.pop(ctx.tid, None)
             for obj in sorted(ctx.write_buffer):
                 if self.store.modified_since(obj, ctx.start_ts):
                     raise self._validation_failure(
@@ -113,8 +141,7 @@ class SIEngine(BaseEngine):
                         f"write-write conflict on {obj!r} "
                         f"(first committer wins)",
                     )
-            self._clock += 1
-            commit_ts = self._clock
+            commit_ts = self._clock + 1
             if ctx.write_buffer:
                 self.store.install(ctx.write_buffer, commit_ts, ctx.tid)
             record = CommitRecord(
@@ -126,7 +153,10 @@ class SIEngine(BaseEngine):
                 writes=dict(ctx.write_buffer),
                 visible_tids=self._visible_tids(ctx.start_ts),
             )
+            with self._session_lock:
+                self._active_start_ts.pop(ctx.tid, None)
             self._finish_commit(ctx, record)
+            self._clock = commit_ts  # publish: the snapshot frontier moves
             return record
 
     # ------------------------------------------------------------------

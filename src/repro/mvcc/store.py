@@ -9,10 +9,25 @@ the idealised SI algorithm sketched in the paper's introduction.
 Initial versions are installed at timestamp 0 by a designated
 initialisation writer (default tid ``t_init``), mirroring the paper's
 special transaction writing initial values of all objects.
+
+Concurrency model.  Version chains are append-only: a committed version
+is immutable and chains only ever grow at the tail (vacuum swaps in a
+fresh chain object rather than mutating one in place).  Snapshot reads
+(:meth:`MVStore.read_at`, :meth:`MVStore.latest`,
+:meth:`MVStore.modified_since`) therefore take **no lock at all**: they
+grab the chain reference once and binary-search an immutable prefix.
+Mutations (:meth:`install`, :meth:`vacuum`) synchronise per object
+through a small array of striped locks (``hash(obj) → stripe``), so
+writers of disjoint objects never contend.  Callers must still serialise
+*timestamp allocation* (the engines do, inside their commit critical
+section): versions of one object are installed in strictly increasing
+timestamp order.
 """
 
 from __future__ import annotations
 
+import threading
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
@@ -21,6 +36,9 @@ from ..core.events import Obj, Value
 
 INIT_WRITER = "t_init"
 """Default tid of the initialisation writer."""
+
+DEFAULT_STRIPES = 16
+"""Default number of lock stripes guarding chain mutations."""
 
 
 @dataclass(frozen=True)
@@ -38,6 +56,27 @@ class Version:
     writer: str
 
 
+class _VersionChain:
+    """One object's committed versions plus a parallel timestamp list.
+
+    ``ts[i] == versions[i].commit_ts`` for every published index, kept
+    as a plain int list so :func:`bisect.bisect_right` probes touch no
+    Python attribute access.  Appends publish ``versions`` first and
+    ``ts`` second, so ``len(ts)`` is always a safe upper bound for
+    lock-free readers: every index below it has both entries final.
+    """
+
+    __slots__ = ("versions", "ts")
+
+    def __init__(self, versions: List[Version]):
+        self.versions = versions
+        self.ts = [v.commit_ts for v in versions]
+
+    def append(self, version: Version) -> None:
+        self.versions.append(version)
+        self.ts.append(version.commit_ts)
+
+
 class MVStore:
     """A multi-version store keyed by object name.
 
@@ -50,47 +89,130 @@ class MVStore:
         self,
         initial: Mapping[Obj, Value],
         init_writer: str = INIT_WRITER,
+        stripes: int = DEFAULT_STRIPES,
     ):
         if not initial:
             raise StoreError("store needs at least one initial object")
-        self._versions: Dict[Obj, List[Version]] = {
-            obj: [Version(value, 0, init_writer)]
+        if stripes < 1:
+            raise StoreError(f"need at least one lock stripe, got {stripes}")
+        # The object universe is fixed at construction, so the dict
+        # itself is never resized — lock-free readers may look chains up
+        # without synchronisation.
+        self._chains: Dict[Obj, _VersionChain] = {
+            obj: _VersionChain([Version(value, 0, init_writer)])
             for obj, value in initial.items()
         }
+        self._stripes = [threading.Lock() for _ in range(stripes)]
         self.init_writer = init_writer
         self.initial: Dict[Obj, Value] = dict(initial)
+
+    # ------------------------------------------------------------------
+    # Internal accessors
+    # ------------------------------------------------------------------
+
+    def _stripe(self, obj: Obj) -> threading.Lock:
+        return self._stripes[hash(obj) % len(self._stripes)]
+
+    def _chain(self, obj: Obj) -> _VersionChain:
+        """The live chain of ``obj`` — the no-copy internal read path.
+
+        The returned chain is append-only and safe to read without a
+        lock (indices below ``len(chain.ts)`` are immutable); it must
+        never be mutated by callers.
+        """
+        try:
+            return self._chains[obj]
+        except KeyError:
+            raise StoreError(f"unknown object {obj!r}") from None
+
+    # ------------------------------------------------------------------
+    # Reads (lock-free)
+    # ------------------------------------------------------------------
 
     @property
     def objects(self) -> List[Obj]:
         """All objects the store knows about (sorted)."""
-        return sorted(self._versions)
+        return sorted(self._chains)
 
     def versions(self, obj: Obj) -> List[Version]:
-        """All committed versions of ``obj``, oldest first."""
-        try:
-            return list(self._versions[obj])
-        except KeyError:
-            raise StoreError(f"unknown object {obj!r}") from None
+        """All committed versions of ``obj``, oldest first (a copy —
+        the public, mutation-safe contract)."""
+        chain = self._chain(obj)
+        return chain.versions[: len(chain.ts)]
 
     def read_at(self, obj: Obj, snapshot_ts: int) -> Version:
         """The latest version of ``obj`` with ``commit_ts <= snapshot_ts``.
 
-        This is the snapshot read of the idealised SI algorithm.
+        This is the snapshot read of the idealised SI algorithm —
+        O(log versions) via binary search, no lock taken.
 
         Raises:
             SnapshotTooOld: when garbage collection discarded every
                 version old enough for the snapshot (newer versions
                 exist, so the object is known but its history is gone).
         """
-        versions = self.versions(obj)
-        candidates = [v for v in versions if v.commit_ts <= snapshot_ts]
-        if not candidates:
+        chain = self._chain(obj)
+        ts = chain.ts
+        index = bisect_right(ts, snapshot_ts, 0, len(ts))
+        if index == 0:
             raise SnapshotTooOld(
                 f"no version of {obj!r} at or before timestamp "
                 f"{snapshot_ts}: vacuumed (oldest retained is "
-                f"{versions[0].commit_ts})"
+                f"{ts[0]})"
             )
-        return candidates[-1]
+        return chain.versions[index - 1]
+
+    def latest(self, obj: Obj) -> Version:
+        """The newest committed version of ``obj``."""
+        chain = self._chain(obj)
+        return chain.versions[len(chain.ts) - 1]
+
+    def latest_commit_ts(self, obj: Obj) -> int:
+        """The commit timestamp of the newest version of ``obj``."""
+        chain = self._chain(obj)
+        return chain.ts[len(chain.ts) - 1]
+
+    def modified_since(self, obj: Obj, ts: int) -> bool:
+        """True iff some committed version of ``obj`` is newer than ``ts``.
+
+        This is the first-committer-wins write-conflict test: a committing
+        transaction with start timestamp ``ts`` must abort if any object it
+        wrote was modified since.  O(1): only the chain tail is examined.
+        """
+        return self.latest_commit_ts(obj) > ts
+
+    def snapshot_at(self, snapshot_ts: int) -> Dict[Obj, Value]:
+        """The full object state visible at ``snapshot_ts`` (diagnostics)."""
+        return {
+            obj: self.read_at(obj, snapshot_ts).value
+            for obj in self._chains
+        }
+
+    # ------------------------------------------------------------------
+    # Mutations (striped locking)
+    # ------------------------------------------------------------------
+
+    def install(
+        self, writes: Mapping[Obj, Value], commit_ts: int, writer: str
+    ) -> None:
+        """Atomically install a transaction's writes at ``commit_ts``.
+
+        Installs at distinct timestamps must be externally serialised
+        (the engines call this inside their commit critical section);
+        the striped locks only order each append against a concurrent
+        :meth:`vacuum` of the same object.
+        """
+        for obj in writes:
+            if obj not in self._chains:
+                raise StoreError(f"unknown object {obj!r}")
+            if self.latest_commit_ts(obj) >= commit_ts:
+                raise StoreError(
+                    f"commit timestamp {commit_ts} not newer than latest "
+                    f"version of {obj!r}"
+                )
+        for obj, value in writes.items():
+            with self._stripe(obj):
+                self._chains[obj].append(Version(value, commit_ts, writer))
 
     def vacuum(self, horizon_ts: int) -> int:
         """Discard versions superseded at or before ``horizon_ts``.
@@ -100,53 +222,22 @@ class MVStore:
         version for snapshots at the horizon), along with everything
         newer; older versions are discarded.  Returns the number of
         versions dropped.
+
+        Safe to run concurrently with lock-free readers: the trimmed
+        chain is built aside and swapped in as a whole, so a reader
+        holds either the complete old chain or the complete new one —
+        a racing read of a dropped version yields at worst
+        :class:`SnapshotTooOld`, never a wrong value.
         """
         dropped = 0
-        for obj, versions in self._versions.items():
-            keep_from = 0
-            for i, version in enumerate(versions):
-                if version.commit_ts <= horizon_ts:
-                    keep_from = i
-            if keep_from > 0:
-                dropped += keep_from
-                self._versions[obj] = versions[keep_from:]
+        for obj in self._chains:
+            with self._stripe(obj):
+                chain = self._chains[obj]
+                published = len(chain.ts)
+                cut = bisect_right(chain.ts, horizon_ts, 0, published) - 1
+                if cut > 0:
+                    self._chains[obj] = _VersionChain(
+                        chain.versions[cut:published]
+                    )
+                    dropped += cut
         return dropped
-
-    def latest(self, obj: Obj) -> Version:
-        """The newest committed version of ``obj``."""
-        return self.versions(obj)[-1]
-
-    def latest_commit_ts(self, obj: Obj) -> int:
-        """The commit timestamp of the newest version of ``obj``."""
-        return self.latest(obj).commit_ts
-
-    def modified_since(self, obj: Obj, ts: int) -> bool:
-        """True iff some committed version of ``obj`` is newer than ``ts``.
-
-        This is the first-committer-wins write-conflict test: a committing
-        transaction with start timestamp ``ts`` must abort if any object it
-        wrote was modified since.
-        """
-        return self.latest_commit_ts(obj) > ts
-
-    def install(
-        self, writes: Mapping[Obj, Value], commit_ts: int, writer: str
-    ) -> None:
-        """Atomically install a transaction's writes at ``commit_ts``."""
-        for obj in writes:
-            if obj not in self._versions:
-                raise StoreError(f"unknown object {obj!r}")
-            if self._versions[obj][-1].commit_ts >= commit_ts:
-                raise StoreError(
-                    f"commit timestamp {commit_ts} not newer than latest "
-                    f"version of {obj!r}"
-                )
-        for obj, value in writes.items():
-            self._versions[obj].append(Version(value, commit_ts, writer))
-
-    def snapshot_at(self, snapshot_ts: int) -> Dict[Obj, Value]:
-        """The full object state visible at ``snapshot_ts`` (diagnostics)."""
-        return {
-            obj: self.read_at(obj, snapshot_ts).value
-            for obj in self._versions
-        }

@@ -6,11 +6,18 @@ step at a time; here the reproduction serves real concurrent traffic:
 sessions, bounded retry-with-backoff, an admission limit, online
 certification via an attached (typically windowed) monitor, and
 JSON-exportable metrics.  :mod:`~repro.service.loadgen` drives
-SmallBank/TPC-C-style mixes over worker threads.
+SmallBank/TPC-C-style mixes over worker threads.  Monitoring runs
+either synchronously inside the commit critical section (certification)
+or through :class:`~repro.service.feed.PipelinedMonitorFeed` — a
+bounded, commit-sequence-ordered queue drained off the commit path
+(observe-only deployments).
 """
 
+from .feed import DEFAULT_FEED_CAPACITY, FeedClosed, PipelinedMonitorFeed
 from .loadgen import (
     MIXES,
+    SMALLBANK_READ_HEAVY,
+    SMALLBANK_WRITE_HEAVY,
     LoadGenerator,
     LoadResult,
     ValueTagger,
@@ -19,13 +26,24 @@ from .loadgen import (
     tpcc_mix,
 )
 from .metrics import LatencyHistogram, ServiceMetrics
-from .service import ServiceSession, TransactionService, TxOutcome
+from .service import (
+    MONITOR_MODES,
+    ServiceSession,
+    TransactionService,
+    TxOutcome,
+)
 
 __all__ = [
+    "DEFAULT_FEED_CAPACITY",
+    "FeedClosed",
     "LatencyHistogram",
     "LoadGenerator",
     "LoadResult",
     "MIXES",
+    "MONITOR_MODES",
+    "PipelinedMonitorFeed",
+    "SMALLBANK_READ_HEAVY",
+    "SMALLBANK_WRITE_HEAVY",
     "ServiceMetrics",
     "ServiceSession",
     "TransactionService",

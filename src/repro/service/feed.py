@@ -1,0 +1,197 @@
+"""A pipelined, commit-sequenced feed from the engines to a monitor.
+
+In synchronous certification the engine's commit mutex is held across
+``commit + observe_commit``, so the monitor's (comparatively expensive)
+graph maintenance sits inside the commit critical section and every
+committer queues behind it.  Observe-only deployments don't need that:
+the monitor must merely see every commit *in commit order*, not *before
+the commit returns*.
+
+:class:`PipelinedMonitorFeed` decouples the two.  Committers submit
+their :class:`~repro.mvcc.engine.CommitRecord` to a **bounded** queue
+right after the engine releases the commit mutex; a dedicated drain
+thread reorders records by their engine-assigned commit timestamp (the
+engines allocate them gaplessly — 1, 2, 3, … — under the commit mutex,
+so the timestamp *is* the commit sequence number) and feeds the monitor
+in exact commit order.
+
+Properties:
+
+* **Order** — records may arrive scrambled (submission happens outside
+  the commit mutex), but the drain thread holds back a record until
+  every earlier sequence number has been observed, so the monitor sees
+  the engine's true commit order.
+* **Backpressure, never drops** — the queue is bounded; when the
+  monitor falls behind, ``submit`` blocks the committer instead of
+  dropping an observation.  The reorder buffer cannot deadlock the
+  queue: the drain thread always moves records out of the queue into
+  the buffer immediately, so slots free up even while a sequence gap
+  is outstanding (the buffer is bounded by the number of in-flight
+  committers).
+* **Errors surface** — an exception raised by the observer (e.g.
+  :class:`~repro.monitor.online.MonitorError`) is captured, further
+  observations stop (the monitor's state is suspect), and the error is
+  re-raised to the next ``submit`` and to ``close``.  The drain thread
+  keeps consuming the queue so blocked committers are released.
+* **Drain on close** — ``close`` flushes every pending observation
+  before returning (and re-raises any captured error).
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from typing import Callable, Dict, Optional
+
+from ..core.errors import StoreError
+from ..mvcc.engine import CommitRecord
+
+DEFAULT_FEED_CAPACITY = 256
+"""Default bound on the feed queue (submitted-but-unobserved commits)."""
+
+_SENTINEL = object()
+
+
+class FeedClosed(StoreError):
+    """Submission to a feed that has been closed."""
+
+
+class PipelinedMonitorFeed:
+    """Asynchronous commit-ordered delivery of records to an observer.
+
+    Args:
+        observe: called with each :class:`CommitRecord`, in commit-ts
+            order, from the single drain thread.
+        capacity: queue bound — at most this many submitted commits may
+            be awaiting observation before ``submit`` blocks.
+        start_seq: the first commit timestamp the feed expects (one
+            past the engine's last commit at attach time).
+    """
+
+    def __init__(
+        self,
+        observe: Callable[[CommitRecord], None],
+        capacity: int = DEFAULT_FEED_CAPACITY,
+        start_seq: int = 1,
+    ):
+        if capacity < 1:
+            raise StoreError(
+                f"feed capacity must be positive, got {capacity}"
+            )
+        self._observe = observe
+        self._queue: "queue.Queue" = queue.Queue(maxsize=capacity)
+        self._pending: Dict[int, CommitRecord] = {}
+        self._next_seq = start_seq
+        self._cond = threading.Condition()
+        self._submitted = 0
+        self._drained = 0
+        self._error: Optional[BaseException] = None
+        self._closed = False
+        self._thread = threading.Thread(
+            target=self._drain_loop, name="monitor-feed", daemon=True
+        )
+        self._thread.start()
+
+    # ------------------------------------------------------------------
+    # Producer side (committers)
+    # ------------------------------------------------------------------
+
+    def submit(self, record: CommitRecord) -> None:
+        """Enqueue one committed transaction for observation.
+
+        Blocks while the queue is full (backpressure).  Raises the
+        observer's error if one has been captured, and
+        :class:`FeedClosed` after :meth:`close`.
+        """
+        with self._cond:
+            if self._error is not None:
+                raise self._error
+            if self._closed:
+                raise FeedClosed(
+                    "monitor feed is closed; commit "
+                    f"{record.tid} not observed"
+                )
+            self._submitted += 1
+        self._queue.put(record)
+
+    # ------------------------------------------------------------------
+    # Drain side
+    # ------------------------------------------------------------------
+
+    def _drain_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SENTINEL:
+                break
+            # Move into the reorder buffer unconditionally: the queue
+            # slot is released even while a sequence gap is open.
+            self._pending[item.commit_ts] = item
+            while self._next_seq in self._pending:
+                record = self._pending.pop(self._next_seq)
+                self._next_seq += 1
+                if self._error is None:
+                    try:
+                        self._observe(record)
+                    except BaseException as exc:  # surfaced to callers
+                        with self._cond:
+                            self._error = exc
+                            self._cond.notify_all()
+                with self._cond:
+                    self._drained += 1
+                    self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Flushing and shutdown
+    # ------------------------------------------------------------------
+
+    @property
+    def lag(self) -> int:
+        """Commits submitted but not yet run through the observer."""
+        with self._cond:
+            return self._submitted - self._drained
+
+    def flush(self, timeout: Optional[float] = None) -> None:
+        """Block until every submitted commit has been observed (or an
+        observer error has been captured — re-raised here)."""
+        with self._cond:
+            done = self._cond.wait_for(
+                lambda: self._drained >= self._submitted
+                or self._error is not None,
+                timeout=timeout,
+            )
+            if self._error is not None:
+                raise self._error
+            if not done:
+                raise StoreError(
+                    f"monitor feed flush timed out with "
+                    f"{self._submitted - self._drained} commit(s) pending"
+                )
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Stop accepting submissions, drain everything, join the
+        thread, and re-raise any captured observer error.  Idempotent."""
+        with self._cond:
+            already = self._closed
+            self._closed = True
+        if not already:
+            self._queue.put(_SENTINEL)
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise StoreError("monitor feed drain thread failed to stop")
+        if self._error is None:
+            with self._cond:
+                if self._pending:
+                    self._error = StoreError(
+                        f"monitor feed closed with a sequence gap: "
+                        f"expected commit #{self._next_seq}, holding "
+                        f"{sorted(self._pending)}"
+                    )
+                elif self._drained < self._submitted:
+                    # A submit raced close (producers must stop first).
+                    self._error = StoreError(
+                        f"monitor feed closed while "
+                        f"{self._submitted - self._drained} commit(s) "
+                        f"were still in flight"
+                    )
+        if self._error is not None:
+            raise self._error

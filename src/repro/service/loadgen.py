@@ -94,15 +94,56 @@ class WorkloadMix:
 # ----------------------------------------------------------------------
 
 
-def smallbank_mix(customers: int = 4, balance: int = 100) -> WorkloadMix:
+SMALLBANK_READ_HEAVY: Dict[str, int] = {
+    "Balance": 60,
+    "DepositChecking": 15,
+    "TransactSavings": 5,
+    "WriteCheck": 15,
+    "Amalgamate": 5,
+}
+"""A read-heavy SmallBank weighting (60% read-only Balance) — the mix
+where lock-free snapshot reads pay off most."""
+
+SMALLBANK_WRITE_HEAVY: Dict[str, int] = {
+    "Balance": 5,
+    "DepositChecking": 30,
+    "TransactSavings": 20,
+    "WriteCheck": 25,
+    "Amalgamate": 20,
+}
+"""A write-heavy SmallBank weighting (95% updating transactions) — the
+mix that stresses the commit critical section and first-committer-wins
+aborts."""
+
+
+def smallbank_mix(
+    customers: int = 4,
+    balance: int = 100,
+    weights: Optional[Dict[str, int]] = None,
+) -> WorkloadMix:
     """The SmallBank transaction mix over ``customers`` customers.
 
     Logical semantics follow :mod:`repro.apps.smallbank`'s operational
     programs; every write is value-tagged for unambiguous monitor
     attribution.
+
+    Args:
+        customers: number of (savings, checking) account pairs.
+        balance: initial balance per account.
+        weights: override the default :data:`~repro.apps.smallbank.MIX_WEIGHTS`
+            per transaction type (e.g. :data:`SMALLBANK_READ_HEAVY`,
+            :data:`SMALLBANK_WRITE_HEAVY`); unknown keys are rejected.
     """
     if customers < 1:
         raise StoreError(f"need at least one customer, got {customers}")
+    chosen = dict(smallbank.MIX_WEIGHTS)
+    if weights is not None:
+        unknown = set(weights) - set(chosen)
+        if unknown:
+            raise StoreError(
+                f"unknown SmallBank transaction types: {sorted(unknown)}"
+            )
+        chosen.update(weights)
     tagger = ValueTagger()
     logical = ValueTagger.logical
 
@@ -185,7 +226,7 @@ def smallbank_mix(customers: int = 4, balance: int = 100) -> WorkloadMix:
         name="smallbank",
         initial=smallbank.initial_state(customers, balance),
         choices={
-            label: (smallbank.MIX_WEIGHTS[label], factory)
+            label: (chosen[label], factory)
             for label, factory in factories.items()
         },
     )
@@ -293,6 +334,11 @@ class LoadGenerator:
             submissions left.
         seed: seeds the per-worker RNG streams (runs are reproducible
             up to thread scheduling).
+        think_time: per-transaction client think time in seconds (slept
+            before each submission).  Models the request round-trip of a
+            closed-loop client; with it, threads overlap their waits and
+            throughput scales with workers until the engine's critical
+            sections saturate — the regime the scaling bench measures.
     """
 
     def __init__(
@@ -303,6 +349,7 @@ class LoadGenerator:
         transactions_per_worker: int = 50,
         duration: Optional[float] = None,
         seed: int = 0,
+        think_time: float = 0.0,
     ):
         if workers < 1:
             raise StoreError(f"need at least one worker, got {workers}")
@@ -311,12 +358,15 @@ class LoadGenerator:
                 "need at least one transaction per worker, got "
                 f"{transactions_per_worker}"
             )
+        if think_time < 0:
+            raise StoreError(f"think_time must be >= 0, got {think_time}")
         self.service = service
         self.mix = mix
         self.workers = workers
         self.transactions_per_worker = transactions_per_worker
         self.duration = duration
         self.seed = seed
+        self.think_time = think_time
 
     def run(self) -> LoadResult:
         """Run the load to completion and summarise it."""
@@ -334,6 +384,8 @@ class LoadGenerator:
             for _ in range(self.transactions_per_worker):
                 if deadline is not None and time.perf_counter() > deadline:
                     break
+                if self.think_time > 0:
+                    time.sleep(self.think_time)
                 program = self.mix.next_program(rng)
                 try:
                     session.run(program)
@@ -359,6 +411,9 @@ class LoadGenerator:
         elapsed = time.perf_counter() - started
         if errors:
             raise errors[0]
+        # With a pipelined monitor, verdicts trail the commits; wait for
+        # the feed so the violation count below is complete.
+        self.service.drain()
         return LoadResult(
             mix=self.mix.name,
             workers=self.workers,

@@ -13,11 +13,21 @@ session handles with:
   :class:`~repro.core.errors.RetryExhausted` instead of livelocking;
 * an **admission limit**: at most ``max_concurrent`` transactions in
   flight, the rest queueing on a semaphore (queue depth is metered);
-* optional **in-line certification**: an attached
+* optional **online monitoring** in one of two modes: with
+  ``monitor_mode="sync"`` (certification) an attached
   :class:`~repro.monitor.online.ConsistencyMonitor` (typically the
-  windowed variant) observes every commit *in true commit order* — the
-  engine lock is held across commit + observation, so the monitor sees
-  exactly the order the engine decided;
+  windowed variant) observes every commit *in true commit order* inside
+  the commit critical section — the engine lock is held across
+  commit + observation, so the commit's outcome carries the verdict;
+  with ``monitor_mode="pipelined"`` (observe-only) commits are handed
+  to a bounded, commit-sequence-numbered queue drained by a dedicated
+  thread (:class:`~repro.service.feed.PipelinedMonitorFeed`) — the
+  engine lock is *not* held across the observation, commit latency no
+  longer pays for graph maintenance, and the monitor still sees exact
+  commit order because records are sequenced by their engine-assigned
+  commit timestamps.  Call :meth:`TransactionService.drain` before
+  reading :attr:`violations` and :meth:`TransactionService.close` at
+  the end of the service's life;
 * :class:`~repro.service.metrics.ServiceMetrics` counting commits,
   aborts, retries and latency histograms, JSON-exportable.
 
@@ -45,7 +55,13 @@ from ..core.events import Obj, Value
 from ..monitor.online import ConsistencyMonitor, Violation
 from ..mvcc.engine import BaseEngine, CommitRecord, TxContext
 from ..mvcc.runtime import ReadOp, TxProgram, WriteOp
+from .feed import DEFAULT_FEED_CAPACITY, PipelinedMonitorFeed
 from .metrics import ServiceMetrics
+
+MONITOR_MODES = ("sync", "pipelined")
+"""How an attached monitor is fed: inside the commit critical section
+(``sync`` — certification) or through the bounded asynchronous feed
+(``pipelined`` — observe-only)."""
 
 
 @dataclass(frozen=True)
@@ -85,6 +101,15 @@ class TransactionService:
         backoff_seed: seed for the jitter streams.
         metrics: share an existing :class:`ServiceMetrics` (one is
             created otherwise).
+        monitor_mode: ``"sync"`` (default — the monitor runs inside the
+            commit critical section and its verdict is returned on the
+            committing :class:`TxOutcome`) or ``"pipelined"`` (the
+            monitor runs on a dedicated drain thread behind a bounded
+            commit-ordered queue; verdicts land in :attr:`violations`
+            asynchronously — call :meth:`drain` to wait for them).
+        feed_capacity: bound of the pipelined feed queue; when the
+            monitor falls this far behind, commits block (backpressure,
+            never drops).  Ignored in sync mode.
     """
 
     def __init__(
@@ -97,6 +122,8 @@ class TransactionService:
         backoff_cap: float = 0.02,
         backoff_seed: int = 0,
         metrics: Optional[ServiceMetrics] = None,
+        monitor_mode: str = "sync",
+        feed_capacity: int = DEFAULT_FEED_CAPACITY,
     ):
         if max_concurrent is not None and max_concurrent < 1:
             raise StoreError(
@@ -104,8 +131,14 @@ class TransactionService:
             )
         if max_retries < 0:
             raise StoreError(f"max_retries must be >= 0, got {max_retries}")
+        if monitor_mode not in MONITOR_MODES:
+            raise StoreError(
+                f"unknown monitor_mode {monitor_mode!r}; expected one of "
+                f"{MONITOR_MODES}"
+            )
         self.engine = engine
         self.monitor = monitor
+        self.monitor_mode = monitor_mode
         self.metrics = metrics or ServiceMetrics()
         self.max_retries = max_retries
         self.backoff_base = backoff_base
@@ -119,6 +152,19 @@ class TransactionService:
         )
         self._session_counter = itertools.count(1)
         self._lock = threading.Lock()
+        self._feed: Optional[PipelinedMonitorFeed] = None
+        if monitor is not None and monitor_mode == "pipelined":
+            with engine.lock:
+                start_seq = (
+                    max(
+                        (r.commit_ts for r in engine.committed),
+                        default=0,
+                    )
+                    + 1
+                )
+            self._feed = PipelinedMonitorFeed(
+                self._observe, capacity=feed_capacity, start_seq=start_seq
+            )
 
     @classmethod
     def certified(
@@ -198,8 +244,37 @@ class TransactionService:
         if self._admission is not None:
             self._admission.release()
 
+    def drain(self) -> None:
+        """Wait until the pipelined feed has observed every submitted
+        commit (no-op in sync mode or without a monitor); re-raises a
+        captured observer error."""
+        if self._feed is not None:
+            self._feed.flush()
+
+    def close(self) -> None:
+        """Shut the service down: drain and stop the pipelined feed
+        (re-raising any captured observer error).  Idempotent; no-op in
+        sync mode."""
+        if self._feed is not None:
+            self._feed.close()
+
+    def __enter__(self) -> "TransactionService":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        # Don't mask an in-flight exception with a feed error.
+        if exc_type is None:
+            self.close()
+        else:
+            try:
+                self.close()
+            except Exception:
+                pass
+
     def _observe(self, record: CommitRecord) -> Optional[Violation]:
-        """Feed a commit to the monitor (caller holds the engine lock)."""
+        """Feed a commit to the monitor (in sync mode the caller holds
+        the engine lock; in pipelined mode only the drain thread calls
+        this, already in commit order)."""
         if self.monitor is None:
             return None
         violation = self.monitor.observe_commit(
@@ -274,21 +349,35 @@ class ServiceSession:
             raise
 
     def commit(self) -> TxOutcome:
-        """Commit; the attached monitor certifies the commit while the
-        engine lock is still held, so it observes true commit order."""
+        """Commit.  In sync mode the attached monitor certifies the
+        commit while the engine lock is still held, so it observes true
+        commit order and the outcome carries the verdict.  In pipelined
+        mode the record is handed to the feed right after the engine
+        releases the commit mutex; verdicts land asynchronously in
+        ``service.violations`` (the outcome's ``violation`` is None)."""
         ctx = self._open_ctx()
         engine = self.service.engine
+        feed = self.service._feed
         violation: Optional[Violation] = None
         monitor_error: Optional[BaseException] = None
         try:
-            with engine.lock:
+            if feed is not None:
                 record = engine.commit(ctx)
                 try:
-                    violation = self.service._observe(record)
+                    feed.submit(record)
                 except Exception as exc:
-                    # Monitor misuse must not leak the admission slot;
-                    # the commit itself stands.
+                    # Feed closed, or a prior observer error resurfacing
+                    # — the commit itself stands.
                     monitor_error = exc
+            else:
+                with engine.lock:
+                    record = engine.commit(ctx)
+                    try:
+                        violation = self.service._observe(record)
+                    except Exception as exc:
+                        # Monitor misuse must not leak the admission
+                        # slot; the commit itself stands.
+                        monitor_error = exc
         except TransactionAborted:
             self._finish_aborted()
             raise

@@ -206,3 +206,62 @@ class TestAnomalyCatalogStreams:
         if case.expected[model]:
             # A history the model allows never trips the monitor.
             assert violation is None, (name, model)
+
+
+class TestPipelinedFeedParity:
+    """The pipelined feed shows the monitor the same stream as sync
+    certification: replaying the engine's commit order through a fresh
+    sync monitor reproduces the pipelined run's verdicts exactly."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_pipelined_verdicts_match_sync_replay(self, seed):
+        mix = MIXES["smallbank"]()
+        engine = SIEngine(dict(mix.initial))
+        service = TransactionService.certified(
+            engine, model="SER", max_retries=100,
+            monitor_mode="pipelined",
+        )
+        LoadGenerator(
+            service, mix, workers=4, transactions_per_worker=10, seed=seed
+        ).run()
+        service.close()
+        pipelined_violations = [v.tid for v in service.violations]
+        assert service.monitor.commit_count == len(engine.committed)
+
+        sync = ConsistencyMonitor(
+            "SER", dict(mix.initial), init_tid=engine.init_tid
+        )
+        replay_violations = []
+        for tid, session, events in committed_stream(engine):
+            violation = sync.observe_commit(tid, session, events)
+            if violation is not None:
+                replay_violations.append(violation.tid)
+        assert pipelined_violations == replay_violations
+        assert sync.commit_count == service.monitor.commit_count
+
+    @pytest.mark.parametrize("window", [None, 12])
+    def test_pipelined_and_sync_services_agree(self, window):
+        """Two services over identically-seeded runs: identical commit
+        streams imply identical violation sets; the monitors end at the
+        same commit count."""
+        results = {}
+        for mode in ("sync", "pipelined"):
+            mix = MIXES["smallbank"]()
+            engine = SIEngine(dict(mix.initial))
+            service = TransactionService.certified(
+                engine, model="SI", window=window, max_retries=100,
+                monitor_mode=mode,
+            )
+            LoadGenerator(
+                service, mix, workers=1, transactions_per_worker=30,
+                seed=11,
+            ).run()
+            service.close()
+            results[mode] = (
+                committed_stream(engine),
+                [v.tid for v in service.violations],
+                service.monitor.commit_count,
+            )
+        # Single-worker runs are fully deterministic, so the two modes
+        # must agree on everything.
+        assert results["sync"] == results["pipelined"]

@@ -160,15 +160,50 @@ class TestGarbageCollection:
         assert monitor.consistent
 
     def test_read_of_superseded_old_version_is_unattributable(self):
-        """A read older than the window is reported, not misclassified."""
+        """A read whose version was overwritten more than a window ago
+        is reported, not misclassified."""
         monitor = WindowedMonitor(3, "SI", {"x": 0, "p0": 0})
         monitor.observe_commit("w1", "s1", [write("x", 1)])
         monitor.observe_commit("w2", "s2", [write("x", 2)])
         for i in range(6):
             monitor.observe_commit("pad%d" % i, "s-pad",
                                    [write("p0", i + 1)])
+        # Both the writer AND the overwriter of x=1 have been evicted.
+        assert "w2" not in monitor._records
         with pytest.raises(MonitorError):
             monitor.observe_commit("r", "s-r", [read("x", 1)])
+
+    def test_superseded_version_attributable_while_overwriter_retained(
+        self,
+    ):
+        """Staleness is bounded by the *overwrite*, not the write: a
+        version whose writer was evicted long ago is still attributable
+        while the transaction that overwrote it is in the window (a
+        descheduled worker's snapshot legitimately reads it)."""
+        monitor = WindowedMonitor(4, "SI", {"x": 0, "p0": 0, "p1": 0})
+        monitor.observe_commit("w1", "s1", [write("x", 1)])
+        for i in range(8):  # w1 leaves the window, x=1 still current
+            monitor.observe_commit(
+                f"pad{i}", "s-pad", [write(f"p{i % 2}", i + 1)]
+            )
+        assert "w1" not in monitor._records
+        monitor.observe_commit("w2", "s2", [write("x", 2)])
+        # The overwriter w2 is retained, so the stale snapshot read of
+        # x=1 attributes — and lands an anti-dependency to w2 rather
+        # than a WR edge to the dead node.
+        v = monitor.observe_commit("r", "s-r", [read("x", 1)])
+        assert v is None
+        assert ("r", "w2") in monitor._rw
+        assert all(edge[0] != "w1" for edge in monitor._wr)
+        assert monitor.consistent
+        # Once w2 ages out, the attribution goes with it.
+        for i in range(8):
+            monitor.observe_commit(
+                f"pad2-{i}", "s-pad", [write(f"p{i % 2}", 100 + i)]
+            )
+        assert "w2" not in monitor._records
+        with pytest.raises(MonitorError):
+            monitor.observe_commit("r2", "s-r2", [read("x", 1)])
 
     def test_duplicate_tid_rejected_even_after_eviction(self):
         monitor = WindowedMonitor(2, "SI", {"p0": 0})

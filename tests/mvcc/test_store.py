@@ -86,3 +86,50 @@ class TestConflictDetection:
         assert store.latest_commit_ts("x") == 0
         store.install({"x": 5}, commit_ts=4, writer="t1")
         assert store.latest_commit_ts("x") == 4
+
+
+class TestBisectReads:
+    """The O(log n) read path over long chains."""
+
+    def test_read_at_every_boundary_on_long_chain(self):
+        store = MVStore({"x": 0})
+        # Sparse timestamps: 2, 4, 6, ... so queries fall between them.
+        for i in range(1, 200):
+            store.install({"x": i}, commit_ts=2 * i, writer=f"t{i}")
+        for i in range(200):
+            # At and just after a commit, the committed value is seen.
+            assert store.read_at("x", 2 * i).value == i
+            assert store.read_at("x", 2 * i + 1).value == i
+        assert store.read_at("x", 10**9).value == 199
+
+    def test_chain_accessor_is_not_a_copy(self):
+        store = MVStore({"x": 0})
+        assert store._chain("x") is store._chain("x")
+
+    def test_versions_returns_a_fresh_copy(self, store):
+        first = store.versions("x")
+        first.append(Version(99, 99, "mutant"))
+        assert [v.value for v in store.versions("x")] == [0]
+
+    def test_chain_timestamps_stay_parallel(self):
+        store = MVStore({"x": 0})
+        for i in range(1, 50):
+            store.install({"x": i}, commit_ts=i, writer=f"t{i}")
+        chain = store._chain("x")
+        assert chain.ts == [v.commit_ts for v in chain.versions]
+
+
+class TestStripes:
+    def test_custom_stripe_count(self):
+        store = MVStore({f"o{i}": i for i in range(20)}, stripes=4)
+        assert len(store._stripes) == 4
+        store.install({"o3": 99}, commit_ts=1, writer="t1")
+        assert store.latest("o3").value == 99
+
+    def test_stripe_count_must_be_positive(self):
+        with pytest.raises(StoreError):
+            MVStore({"x": 0}, stripes=0)
+
+    def test_same_object_same_stripe(self):
+        store = MVStore({"x": 0, "y": 0})
+        assert store._stripe("x") is store._stripe("x")

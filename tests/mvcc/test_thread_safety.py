@@ -33,8 +33,12 @@ ENGINES = {
     "SI": SIEngine,
     "SER-OCC": SerializableEngine,
     "SER-2PL": TwoPhaseLockingEngine,
-    "PSI": lambda initial: PSIEngine(initial, auto_deliver=True),
+    "PSI": lambda initial, **kw: PSIEngine(
+        initial, auto_deliver=True, **kw
+    ),
 }
+
+LOCK_MODES = ("striped", "global-lock")
 
 
 def _increment_until_committed(engine, session, obj, max_attempts=10_000):
@@ -75,26 +79,29 @@ def _hammer(engine, objects_for):
     assert not errors, errors
 
 
+@pytest.mark.parametrize("lock_mode", LOCK_MODES)
 @pytest.mark.parametrize("engine_name", sorted(ENGINES))
-def test_disjoint_hammer_loses_no_updates(engine_name):
+def test_disjoint_hammer_loses_no_updates(engine_name, lock_mode):
     initial = {f"c{i}": 0 for i in range(THREADS)}
-    engine = ENGINES[engine_name](initial)
+    engine = ENGINES[engine_name](initial, lock_mode=lock_mode)
     _hammer(engine, lambda i, n: f"c{i}")
     assert engine.stats.commits == THREADS * TXNS_PER_THREAD
     final = {obj: _latest_value(engine, obj) for obj in initial}
     assert final == {f"c{i}": TXNS_PER_THREAD for i in range(THREADS)}
 
 
+@pytest.mark.parametrize("lock_mode", LOCK_MODES)
 @pytest.mark.parametrize("engine_name", ["SI", "SER-OCC", "SER-2PL"])
-def test_contended_hammer_loses_no_updates(engine_name):
-    engine = ENGINES[engine_name]({"counter": 0})
+def test_contended_hammer_loses_no_updates(engine_name, lock_mode):
+    engine = ENGINES[engine_name]({"counter": 0}, lock_mode=lock_mode)
     _hammer(engine, lambda i, n: "counter")
     assert engine.stats.commits == THREADS * TXNS_PER_THREAD
     assert _latest_value(engine, "counter") == THREADS * TXNS_PER_THREAD
 
 
-def test_tids_and_commit_timestamps_unique_under_contention():
-    engine = SIEngine({"counter": 0})
+@pytest.mark.parametrize("lock_mode", LOCK_MODES)
+def test_tids_and_commit_timestamps_unique_under_contention(lock_mode):
+    engine = SIEngine({"counter": 0}, lock_mode=lock_mode)
     _hammer(engine, lambda i, n: "counter")
     tids = [rec.tid for rec in engine.committed]
     assert len(tids) == len(set(tids))
@@ -107,6 +114,69 @@ def test_threaded_run_still_satisfies_own_model():
     _hammer(engine, lambda i, n: f"c{(i + n) % THREADS}")
     monitor, violations = watch_engine(engine, model="SI")
     assert monitor.consistent, violations
+
+
+def test_concurrent_history_reconstruction_is_safe():
+    """history()/abstract_execution() called from one thread while
+    other threads keep committing: each call sees a consistent prefix
+    of the commit order."""
+    engine = SIEngine({f"c{i}": 0 for i in range(THREADS)})
+    errors = []
+    stop = threading.Event()
+
+    def reconstructor():
+        try:
+            while not stop.is_set():
+                history = engine.history()
+                tids = [
+                    t.tid for s in history.sessions for t in s
+                    if t.tid != engine.init_tid
+                ]
+                assert len(tids) == len(set(tids))
+                engine.abstract_execution()
+        except Exception as exc:  # noqa: BLE001 - surfaced to the test
+            errors.append(exc)
+
+    observer = threading.Thread(target=reconstructor)
+    observer.start()
+    try:
+        _hammer(engine, lambda i, n: f"c{i}")
+    finally:
+        stop.set()
+        observer.join()
+    assert not errors, errors
+    final = engine.history()
+    committed = [
+        t for s in final.sessions for t in s if t.tid != engine.init_tid
+    ]
+    assert len(committed) == THREADS * TXNS_PER_THREAD
+
+
+def test_history_cache_reuses_converted_transactions():
+    """The incremental reconstruction cache: a transaction converted by
+    an earlier history() call is the same object in later calls."""
+    engine = SIEngine({"x": 0})
+    for n in range(3):
+        ctx = engine.begin("s")
+        engine.write(ctx, "x", n + 1)
+        engine.commit(ctx)
+    first = engine.history()
+    early = {
+        t.tid: t for s in first.sessions for t in s
+        if t.tid != engine.init_tid
+    }
+    for n in range(3, 6):
+        ctx = engine.begin("s")
+        engine.write(ctx, "x", n + 1)
+        engine.commit(ctx)
+    second = engine.history()
+    later = {
+        t.tid: t for s in second.sessions for t in s
+        if t.tid != engine.init_tid
+    }
+    assert len(later) == 6
+    for tid, txn in early.items():
+        assert later[tid] is txn
 
 
 def _latest_value(engine, obj):

@@ -1,0 +1,266 @@
+"""Tests for the pipelined monitor feed.
+
+The feed must deliver every submitted commit to the observer in commit
+order (records are sequenced by the engine's gapless commit
+timestamps), apply backpressure instead of dropping when the queue
+fills, drain fully on close, and surface observer errors to the
+submitting/closing caller.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.core.errors import StoreError
+from repro.mvcc.engine import CommitRecord
+from repro.mvcc.si import SIEngine
+from repro.service import (
+    FeedClosed,
+    LoadGenerator,
+    PipelinedMonitorFeed,
+    TransactionService,
+    smallbank_mix,
+)
+
+
+def record(seq, tid=None):
+    """A minimal commit record with commit_ts == seq."""
+    return CommitRecord(
+        tid=tid or f"t{seq}",
+        session="s",
+        start_ts=0,
+        commit_ts=seq,
+        events=(),
+        writes={},
+        visible_tids=frozenset(),
+    )
+
+
+class TestOrdering:
+    def test_in_order_submission_observed_in_order(self):
+        seen = []
+        feed = PipelinedMonitorFeed(lambda r: seen.append(r.commit_ts))
+        for seq in range(1, 11):
+            feed.submit(record(seq))
+        feed.close()
+        assert seen == list(range(1, 11))
+
+    def test_out_of_order_submission_reordered(self):
+        seen = []
+        feed = PipelinedMonitorFeed(lambda r: seen.append(r.commit_ts))
+        for seq in (3, 1, 5, 2, 4):
+            feed.submit(record(seq))
+        feed.close()
+        assert seen == [1, 2, 3, 4, 5]
+
+    def test_flush_waits_for_everything_submitted(self):
+        seen = []
+
+        def slow_observe(r):
+            time.sleep(0.005)
+            seen.append(r.commit_ts)
+
+        feed = PipelinedMonitorFeed(slow_observe)
+        for seq in range(1, 6):
+            feed.submit(record(seq))
+        feed.flush()
+        assert seen == [1, 2, 3, 4, 5]
+        assert feed.lag == 0
+        feed.close()
+
+    def test_start_seq_offsets_the_expected_sequence(self):
+        seen = []
+        feed = PipelinedMonitorFeed(
+            lambda r: seen.append(r.commit_ts), start_seq=10
+        )
+        feed.submit(record(11))
+        feed.submit(record(10))
+        feed.close()
+        assert seen == [10, 11]
+
+
+class TestBackpressure:
+    def test_full_queue_blocks_submit_until_drained(self):
+        release = threading.Event()
+        seen = []
+
+        def gated_observe(r):
+            release.wait(5)
+            seen.append(r.commit_ts)
+
+        feed = PipelinedMonitorFeed(gated_observe, capacity=2)
+        # #1 occupies the observer; #2 and #3 fill queue + reorder slack.
+        for seq in (1, 2, 3):
+            feed.submit(record(seq))
+        while feed._queue.qsize() < 2:
+            time.sleep(0.001)
+
+        blocked_done = threading.Event()
+
+        def blocked_submit():
+            feed.submit(record(4))
+            blocked_done.set()
+
+        thread = threading.Thread(target=blocked_submit)
+        thread.start()
+        # The submit must be blocked (queue full), not dropped.
+        assert not blocked_done.wait(0.05)
+        release.set()
+        assert blocked_done.wait(5)
+        thread.join()
+        feed.close()
+        assert seen == [1, 2, 3, 4]  # never dropped
+
+    def test_reorder_gap_does_not_deadlock_the_queue(self):
+        """Later-sequence records fill the queue while an earlier one is
+        missing; the drain thread must keep emptying the queue so the
+        gap-filling submit can get in."""
+        seen = []
+        feed = PipelinedMonitorFeed(
+            lambda r: seen.append(r.commit_ts), capacity=2
+        )
+        for seq in (4, 3, 2):  # all stuck behind missing #1
+            feed.submit(record(seq))
+        feed.submit(record(1))  # must not deadlock
+        feed.close()
+        assert seen == [1, 2, 3, 4]
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(StoreError):
+            PipelinedMonitorFeed(lambda r: None, capacity=0)
+
+
+class TestErrors:
+    def test_observer_error_reraised_on_close(self):
+        def explode(r):
+            raise ValueError("monitor meltdown")
+
+        feed = PipelinedMonitorFeed(explode)
+        feed.submit(record(1))
+        with pytest.raises(ValueError, match="monitor meltdown"):
+            feed.close()
+
+    def test_observer_error_reraised_on_later_submit(self):
+        def explode(r):
+            raise ValueError("monitor meltdown")
+
+        feed = PipelinedMonitorFeed(explode)
+        feed.submit(record(1))
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline:
+            try:
+                feed.submit(record(2))
+            except ValueError:
+                break
+            time.sleep(0.001)
+        else:
+            pytest.fail("observer error never surfaced to submit")
+        with pytest.raises(ValueError):
+            feed.close()
+
+    def test_error_stops_observation_but_not_draining(self):
+        seen = []
+
+        def explode_once(r):
+            if r.commit_ts == 1:
+                raise ValueError("meltdown")
+            seen.append(r.commit_ts)
+
+        feed = PipelinedMonitorFeed(explode_once)
+        feed.submit(record(1))
+        feed.submit(record(2))
+        with pytest.raises(ValueError):
+            feed.close()
+        assert seen == []  # observation stopped after the error
+        assert feed.lag == 0  # but the queue was fully drained
+
+    def test_flush_reraises_observer_error(self):
+        def explode(r):
+            raise ValueError("meltdown")
+
+        feed = PipelinedMonitorFeed(explode)
+        feed.submit(record(1))
+        with pytest.raises(ValueError):
+            feed.flush()
+        with pytest.raises(ValueError):
+            feed.close()
+
+
+class TestClose:
+    def test_close_drains_everything_first(self):
+        seen = []
+
+        def slow_observe(r):
+            time.sleep(0.002)
+            seen.append(r.commit_ts)
+
+        feed = PipelinedMonitorFeed(slow_observe)
+        for seq in range(1, 21):
+            feed.submit(record(seq))
+        feed.close()
+        assert seen == list(range(1, 21))
+
+    def test_submit_after_close_raises(self):
+        feed = PipelinedMonitorFeed(lambda r: None)
+        feed.close()
+        with pytest.raises(FeedClosed):
+            feed.submit(record(1))
+
+    def test_close_is_idempotent(self):
+        feed = PipelinedMonitorFeed(lambda r: None)
+        feed.submit(record(1))
+        feed.close()
+        feed.close()
+
+    def test_close_with_sequence_gap_raises(self):
+        feed = PipelinedMonitorFeed(lambda r: None)
+        feed.submit(record(2))  # #1 never arrives
+        with pytest.raises(StoreError, match="sequence gap"):
+            feed.close()
+
+
+class TestServiceIntegration:
+    def test_pipelined_run_collects_violations_async(self):
+        """An SI engine certified against SER through the pipelined
+        feed: write skew still gets flagged, just asynchronously."""
+        engine = SIEngine({"x": 1, "y": 1})
+        service = TransactionService.certified(
+            engine, model="SER", monitor_mode="pipelined"
+        )
+        s1, s2 = service.session("s1"), service.session("s2")
+        s1.begin(), s2.begin()
+        s1.read("x"), s1.read("y")
+        s2.read("x"), s2.read("y")
+        s1.write("x", -1)
+        s2.write("y", -1)
+        out1 = s1.commit()
+        out2 = s2.commit()
+        # Pipelined outcomes never carry the verdict inline.
+        assert out1.violation is None and out2.violation is None
+        service.drain()
+        assert len(service.violations) == 1
+        service.close()
+
+    def test_pipelined_service_close_is_idempotent(self):
+        mix = smallbank_mix()
+        engine = SIEngine(dict(mix.initial))
+        with TransactionService.certified(
+            engine, model="SI", monitor_mode="pipelined"
+        ) as service:
+            LoadGenerator(
+                service, mix, workers=2, transactions_per_worker=5
+            ).run()
+        service.close()  # the context manager already closed it
+
+    def test_sync_mode_has_no_feed(self):
+        engine = SIEngine({"x": 0})
+        service = TransactionService.certified(engine, model="SI")
+        assert service._feed is None
+        service.drain()  # no-ops
+        service.close()
+
+    def test_unknown_monitor_mode_rejected(self):
+        engine = SIEngine({"x": 0})
+        with pytest.raises(StoreError):
+            TransactionService(engine, monitor_mode="async")
