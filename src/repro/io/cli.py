@@ -8,6 +8,10 @@ Usage (also available as ``python -m repro``)::
                                [--vulnerable] [--instances N]
     repro-si serve-bench [--engine SI|SER|PSI|2PL|all] [--mix smallbank|tpcc]
                           [--workers N] [--txns N] [--window W] [--json FILE]
+                          [--wal-dir DIR] [--fsync-policy always|group|none]
+    repro-si replay WAL_DIR [--engine SI|SER|PSI|2PL] [--json FILE]
+    repro-si audit-log WAL_DIR [--model SI|SER|PSI] [--window W]
+                               [--checker incremental|rebuild] [--lenient]
     repro-si demo [case]
 
 ``check-history`` decides membership of a captured transaction log in the
@@ -15,12 +19,16 @@ requested model class (Theorems 8/9/21 through the membership oracle);
 ``check-chopping`` and ``check-robustness`` run the Section 5/6 static
 analyses on read/write-set descriptions; ``serve-bench`` drives a
 transaction mix through the concurrent service with a windowed online
-monitor attached; ``demo`` reproduces a catalog anomaly.  See
-:mod:`repro.io.json_format` for the file formats.
+monitor attached (optionally persisting every commit to a write-ahead
+log); ``replay`` recovers a write-ahead log directory into a fresh
+engine and reports the prefix-consistent state reached; ``audit-log``
+streams a log through the offline SI/SER/PSI certifiers; ``demo``
+reproduces a catalog anomaly.  See :mod:`repro.io.json_format` for the
+file formats and :mod:`repro.wal` for the log format.
 
 Exit status: 0 when the property holds (history allowed / chopping
-correct / application robust / serve-bench violation-free), 1 when it
-does not, 2 on usage errors.
+correct / application robust / serve-bench violation-free / log
+recovered / audit consistent), 1 when it does not, 2 on usage errors.
 """
 
 from __future__ import annotations
@@ -187,17 +195,32 @@ def _serve_engine(key: str, initial, lock_mode: str = "striped"):
 
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     import json as _json
+    import os as _os
 
     from ..core.errors import ReproError
     from ..service import MIXES, LoadGenerator, TransactionService
 
     engines = SERVE_ENGINES if args.engine == "all" else (args.engine,)
+    # The report's metadata block mirrors every knob that shaped the
+    # run, so benchmark JSONs are self-describing across PRs.
     report = {
         "mix": args.mix,
         "workers": args.workers,
         "transactions_per_worker": args.txns,
         "window": args.window,
         "checker": args.checker,
+        "monitor_mode": args.monitor_mode,
+        "lock_mode": args.lock_mode,
+        "seed": args.seed,
+        "think_time": args.think_time,
+        "max_retries": args.max_retries,
+        "max_concurrent": args.max_concurrent,
+        "duration": args.duration,
+        "wal": (
+            {"dir": args.wal_dir, "fsync_policy": args.fsync_policy}
+            if args.wal_dir
+            else None
+        ),
         "engines": {},
     }
     total_violations = 0
@@ -206,7 +229,26 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         engine, model = _serve_engine(
             key, dict(mix.initial), lock_mode=args.lock_mode
         )
+        wal = None
         try:
+            if args.wal_dir:
+                from ..wal import WriteAheadLog
+
+                wal_dir = (
+                    args.wal_dir
+                    if len(engines) == 1
+                    else _os.path.join(args.wal_dir, key)
+                )
+                wal = WriteAheadLog(
+                    wal_dir,
+                    fsync_policy=args.fsync_policy,
+                    meta={
+                        "engine": key,
+                        "init": dict(mix.initial),
+                        "init_tid": engine.init_tid,
+                        "model": model,
+                    },
+                )
             service = TransactionService.certified(
                 engine,
                 model=model,
@@ -215,6 +257,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                 max_concurrent=args.max_concurrent,
                 max_retries=args.max_retries,
                 monitor_mode=args.monitor_mode,
+                wal=wal,
             )
             result = LoadGenerator(
                 service,
@@ -242,6 +285,12 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             "abort_rate": round(service.metrics.abort_rate, 4),
             "latency_seconds": metrics["latency_seconds"],
         }
+        if wal is not None:
+            report["engines"][key]["wal"] = {
+                "dir": wal.directory,
+                "fsync_policy": wal.fsync_policy,
+                **metrics["wal"],
+            }
         print(
             f"{key:<4} ({model} monitor): "
             f"{result.committed} committed, "
@@ -250,6 +299,13 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             f"{result.throughput:.0f} txn/s, "
             f"abort rate {service.metrics.abort_rate:.1%}"
         )
+        if wal is not None:
+            print(
+                f"     wal: {metrics['wal']['appends']} appends, "
+                f"{metrics['wal']['fsyncs']} fsyncs, "
+                f"{metrics['wal']['bytes']} bytes "
+                f"({wal.fsync_policy} policy, {wal.directory})"
+            )
     if args.json:
         with open(args.json, "w") as f:
             _json.dump(report, f, indent=2, sort_keys=True)
@@ -259,6 +315,57 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         print(f"{total_violations} consistency violation(s) detected")
         return 1
     return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from ..core.errors import ReproError
+    from ..wal import recover
+
+    try:
+        result = recover(args.wal_dir, engine_key=args.engine)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.describe())
+    if args.json:
+        doc = {
+            "engine": (result.meta.engine if result.meta else None),
+            "records_recovered": result.records_recovered,
+            "first_ts": result.first_ts,
+            "last_ts": result.last_ts,
+            "segments_scanned": result.segments_scanned,
+            "segments_dropped": result.segments_dropped,
+            "bytes_scanned": result.bytes_scanned,
+            "truncated": result.truncated,
+            "damage": [str(d) for d in result.damage],
+            "elapsed_seconds": result.elapsed_seconds,
+        }
+        with open(args.json, "w") as f:
+            _json.dump(doc, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"recovery report written to {args.json}")
+    return 0
+
+
+def _cmd_audit_log(args: argparse.Namespace) -> int:
+    from ..core.errors import ReproError
+    from ..wal import audit_log
+
+    try:
+        result = audit_log(
+            args.wal_dir,
+            model=args.model,
+            window=args.window,
+            checker=args.checker,
+            strict_values=not args.lenient,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(result.describe())
+    return 0 if result.consistent else 1
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -429,10 +536,64 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-transaction client think time in seconds",
     )
     p_serve.add_argument(
+        "--wal-dir", metavar="DIR", default=None,
+        help="persist every commit to a write-ahead log in DIR "
+             "(per-engine subdirectories with --engine all)",
+    )
+    p_serve.add_argument(
+        "--fsync-policy", choices=["always", "group", "none"],
+        default="group",
+        help="WAL durability: fsync per record (always), one fsync per "
+             "group-commit batch (group, default), or OS write-back "
+             "only (none)",
+    )
+    p_serve.add_argument(
         "--json", metavar="FILE", default=None,
         help="write the per-engine metrics report as JSON",
     )
     p_serve.set_defaults(func=_cmd_serve_bench)
+
+    p_replay = sub.add_parser(
+        "replay",
+        help="recover a write-ahead log directory into a fresh engine",
+    )
+    p_replay.add_argument("wal_dir", help="write-ahead log directory")
+    p_replay.add_argument(
+        "--engine", choices=list(SERVE_ENGINES), default=None,
+        help="override the engine class recorded in the log meta",
+    )
+    p_replay.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write the recovery report as JSON",
+    )
+    p_replay.set_defaults(func=_cmd_replay)
+
+    p_audit = sub.add_parser(
+        "audit-log",
+        help="stream a write-ahead log through the offline certifiers",
+    )
+    p_audit.add_argument("wal_dir", help="write-ahead log directory")
+    p_audit.add_argument(
+        "--model", choices=["SI", "SER", "PSI"], default=None,
+        help="model to certify against (default: the one the log's "
+             "producer recorded)",
+    )
+    p_audit.add_argument(
+        "--window", type=int, default=None,
+        help="audit with a windowed monitor of this size (bounded "
+             "memory; default: full graph)",
+    )
+    p_audit.add_argument(
+        "--checker", choices=["incremental", "rebuild"],
+        default="incremental",
+        help="certification back-end (as for check-log)",
+    )
+    p_audit.add_argument(
+        "--lenient", action="store_true",
+        help="attribute ambiguous read values to the latest writer "
+             "instead of aborting the audit",
+    )
+    p_audit.set_defaults(func=_cmd_audit_log)
 
     p_demo = sub.add_parser("demo", help="reproduce a catalog anomaly")
     p_demo.add_argument("case", nargs="?", default=None)

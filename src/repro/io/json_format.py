@@ -127,6 +127,63 @@ def history_from_json(data: Dict[str, Any]) -> Tuple[History, Optional[str]]:
 
 
 # ----------------------------------------------------------------------
+# Wire values (type-preserving)
+# ----------------------------------------------------------------------
+#
+# Plain JSON maps tuples and lists to the same array syntax, but the
+# operational stack distinguishes them: the service's value tagger
+# writes ``(logical, seq)`` tuples and `ValueTagger.logical` detects
+# them with an isinstance check.  The write-ahead log must reproduce
+# committed values bit-identically on recovery, so its payloads encode
+# values through these tagged codecs instead of raw JSON.
+
+
+def value_to_wire(value: Any) -> Any:
+    """Encode an arbitrary engine value for JSON transport, preserving
+    the Python container type: tuples, lists and dicts each get their
+    own one-key wrapper, scalars pass through unchanged."""
+    if isinstance(value, tuple):
+        return {"t": [value_to_wire(v) for v in value]}
+    if isinstance(value, list):
+        return {"l": [value_to_wire(v) for v in value]}
+    if isinstance(value, dict):
+        return {"d": {str(k): value_to_wire(v) for k, v in value.items()}}
+    return value
+
+
+def value_from_wire(data: Any) -> Any:
+    """Inverse of :func:`value_to_wire`."""
+    if isinstance(data, dict):
+        if set(data) == {"t"}:
+            return tuple(value_from_wire(v) for v in data["t"])
+        if set(data) == {"l"}:
+            return [value_from_wire(v) for v in data["l"]]
+        if set(data) == {"d"}:
+            return {k: value_from_wire(v) for k, v in data["d"].items()}
+        raise FormatError(f"malformed wire value: {data!r}")
+    return data
+
+
+def op_to_wire(op: Op) -> List[Any]:
+    """Like :func:`op_to_json` but with a type-preserving value."""
+    return [op.kind.value, op.obj, value_to_wire(op.value)]
+
+
+def op_from_wire(data: Any) -> Op:
+    """Inverse of :func:`op_to_wire`."""
+    try:
+        kind, obj, value = data
+    except (TypeError, ValueError):
+        raise FormatError(f"operation must be [kind, obj, value]: {data!r}")
+    value = value_from_wire(value)
+    if kind == OpKind.READ.value:
+        return read_op(obj, value)
+    if kind == OpKind.WRITE.value:
+        return write_op(obj, value)
+    raise FormatError(f"unknown operation kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
 # Dependency graphs
 # ----------------------------------------------------------------------
 

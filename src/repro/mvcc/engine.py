@@ -52,6 +52,7 @@ from __future__ import annotations
 
 import abc
 import enum
+import re
 import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Set, Tuple
@@ -279,6 +280,57 @@ class BaseEngine(abc.ABC):
     def _record_read(self, ctx: TxContext, obj: Obj, value: Value) -> Value:
         ctx.events.append(read_op(obj, value))
         return value
+
+    # ------------------------------------------------------------------
+    # Replay (crash recovery)
+    # ------------------------------------------------------------------
+
+    _TID_PATTERN = re.compile(r"^t(\d+)$")
+
+    def replay_commit(self, record: CommitRecord) -> None:
+        """Install an already-validated commit from a durable log.
+
+        Used by :mod:`repro.wal.recovery`: the record won its validation
+        race in the original run, so no conflict check is re-run — the
+        writes are installed, the commit log and counters are updated,
+        and tid allocation is advanced past the replayed tid so the
+        recovered engine can keep serving fresh transactions.  The
+        stored record object itself is appended, making the recovered
+        ``committed`` list bit-identical to the producer's prefix.
+
+        Raises:
+            StoreError: when transactions are in flight (replay requires
+                a quiescent engine) or the record's commit timestamp
+                does not extend the commit order.
+        """
+        with self.lock:
+            with self._session_lock:
+                if self._open_sessions:
+                    raise StoreError(
+                        f"cannot replay into an engine with active "
+                        f"transactions: {sorted(self._open_sessions)}"
+                    )
+            if self.committed and record.commit_ts <= self.committed[-1].commit_ts:
+                raise StoreError(
+                    f"replayed commit #{record.commit_ts} ({record.tid}) "
+                    f"does not extend the commit order (last is "
+                    f"#{self.committed[-1].commit_ts})"
+                )
+            self._replay_install(record)
+            self.committed.append(record)
+            self.stats.commits += 1
+            match = self._TID_PATTERN.match(record.tid)
+            if match:
+                with self._session_lock:
+                    self._next_tid = max(
+                        self._next_tid, int(match.group(1)) + 1
+                    )
+
+    @abc.abstractmethod
+    def _replay_install(self, record: CommitRecord) -> None:
+        """Apply a replayed commit's writes to the engine's store and
+        advance its clock (caller holds the commit mutex; no validation,
+        no session bookkeeping)."""
 
     # ------------------------------------------------------------------
     # Reconstruction of declarative objects

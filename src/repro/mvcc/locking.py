@@ -178,6 +178,13 @@ class TwoPhaseLockingEngine(BaseEngine):
         self.locks.release_all(ctx.tid)
         super().abort(ctx, reason)
 
+    def _replay_install(self, record: CommitRecord) -> None:
+        """Install a replayed commit at its original timestamp (no locks
+        to acquire — the original run already serialised it)."""
+        if record.writes:
+            self.store.install(record.writes, record.commit_ts, record.tid)
+        self._clock = record.commit_ts
+
     def _lock_failure(
         self, ctx: TxContext, obj: Obj, mode: LockMode
     ) -> TransactionAborted:

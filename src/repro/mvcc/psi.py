@@ -183,6 +183,22 @@ class PSIEngine(BaseEngine):
             self._snapshots.pop(ctx.tid, None)
 
     # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+
+    def _replay_install(self, record: CommitRecord) -> None:
+        """Re-register a replayed commit and apply it at every existing
+        replica.  A recovered log represents fully durable state, so
+        replay treats each commit as fully propagated (replicas created
+        later are backfilled by :meth:`replica_of` as usual)."""
+        self._commit_index = record.commit_ts
+        self._records_by_tid[record.tid] = record
+        for obj in record.writes:
+            self._writers_per_obj.setdefault(obj, []).append(record.tid)
+        for replica in self._replicas.values():
+            self._apply(record, replica)
+
+    # ------------------------------------------------------------------
     # Propagation
     # ------------------------------------------------------------------
 

@@ -160,6 +160,18 @@ class SIEngine(BaseEngine):
             return record
 
     # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+
+    def _replay_install(self, record: CommitRecord) -> None:
+        """Install a replayed commit's writes at its original timestamp
+        and move the snapshot frontier there (covers the serializable
+        subclass too — replay skips validation either way)."""
+        if record.writes:
+            self.store.install(record.writes, record.commit_ts, record.tid)
+        self._clock = record.commit_ts
+
+    # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
 

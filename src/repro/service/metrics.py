@@ -4,9 +4,13 @@ The service layer is the first place the reproduction meets sustained
 concurrent traffic, so it carries its own instrumentation: per-service
 counters (commits, aborts, retries, retry exhaustions, monitor
 violations), a fixed-bucket latency histogram for end-to-end
-transaction latency (including retries), and admission-queue gauges.
-Everything is thread-safe, snapshot-able as plain dicts, and JSON
-exportable so benches and CI can track the numbers across PRs.
+transaction latency (including retries), admission-queue gauges, and —
+when a write-ahead log is attached — durability counters
+(appends/fsyncs/bytes) plus a group-commit batch-size histogram, so
+the cost of each fsync policy is visible in the same snapshot as the
+throughput it bought.  Everything is thread-safe, snapshot-able as
+plain dicts, and JSON exportable so benches and CI can track the
+numbers across PRs.
 """
 
 from __future__ import annotations
@@ -98,6 +102,15 @@ class ServiceMetrics:
         self.peak_in_flight = 0
         self.peak_admission_waiting = 0
         self.txn_latency = LatencyHistogram()
+        self.wal_appends = 0
+        self.wal_flushes = 0
+        self.wal_fsyncs = 0
+        self.wal_bytes = 0
+        # Batch sizes are small integers, so reuse the histogram's
+        # fixed-bound machinery with power-of-two record-count bounds.
+        self.wal_batch = LatencyHistogram(
+            buckets=[float(2**i) for i in range(13)]
+        )
 
     # ------------------------------------------------------------------
     # Recording
@@ -140,6 +153,19 @@ class ServiceMetrics:
         with self._lock:
             self.violations += 1
 
+    def record_wal_append(self, nbytes: int) -> None:
+        """One commit record appended to the write-ahead log."""
+        with self._lock:
+            self.wal_appends += 1
+            self.wal_bytes += nbytes
+
+    def record_wal_flush(self, batch_size: int, fsyncs: int) -> None:
+        """One flusher batch written (``fsyncs`` syncs issued for it)."""
+        with self._lock:
+            self.wal_flushes += 1
+            self.wal_fsyncs += fsyncs
+        self.wal_batch.record(float(batch_size))
+
     def enter_admission_queue(self) -> None:
         """A client started waiting for an admission slot."""
         with self._lock:
@@ -179,11 +205,19 @@ class ServiceMetrics:
                 "peak_in_flight": self.peak_in_flight,
                 "peak_admission_waiting": self.peak_admission_waiting,
             }
+            wal = {
+                "appends": self.wal_appends,
+                "flushes": self.wal_flushes,
+                "fsyncs": self.wal_fsyncs,
+                "bytes": self.wal_bytes,
+            }
+        batch = self.wal_batch.snapshot()
         return {
             "counters": counters,
             "gauges": gauges,
             "abort_rate": self.abort_rate,
             "latency_seconds": self.txn_latency.snapshot(),
+            "wal": {**wal, "batch_records": batch},
         }
 
     def to_json(self, indent: Optional[int] = 2) -> str:

@@ -28,8 +28,20 @@ session handles with:
   commit timestamps.  Call :meth:`TransactionService.drain` before
   reading :attr:`violations` and :meth:`TransactionService.close` at
   the end of the service's life;
+* optional **durability**: with ``wal=`` a
+  :class:`~repro.wal.log.WriteAheadLog` receives every commit record
+  *off the engine lock*, sequenced by the engine's gapless commit
+  timestamps exactly like the pipelined feed — the log's reorder buffer
+  restores true commit order, so the on-disk log is always a prefix of
+  the commit history and a killed service recovers to a
+  prefix-consistent state via :func:`repro.wal.recovery.recover`.
+  Under ``fsync_policy="always"``/``"group"`` the commit call returns
+  only once its record is durable; a WAL failure is surfaced to the
+  committer *after* the in-memory commit stands (same contract as a
+  monitor error);
 * :class:`~repro.service.metrics.ServiceMetrics` counting commits,
-  aborts, retries and latency histograms, JSON-exportable.
+  aborts, retries and latency histograms (plus WAL durability counters
+  when a log is attached), JSON-exportable.
 
 Sessions map 1:1 onto engine sessions: a handle is meant to be driven
 by one thread at a time (the engines enforce one active transaction per
@@ -110,6 +122,11 @@ class TransactionService:
         feed_capacity: bound of the pipelined feed queue; when the
             monitor falls this far behind, commits block (backpressure,
             never drops).  Ignored in sync mode.
+        wal: optional :class:`~repro.wal.log.WriteAheadLog` appended to
+            on every commit, outside the engine lock.  Its ``start_seq``
+            must be one past the engine's last commit timestamp (1 for
+            a fresh engine); the service adopts it — :meth:`drain`
+            flushes it and :meth:`close` closes it.
     """
 
     def __init__(
@@ -124,6 +141,7 @@ class TransactionService:
         metrics: Optional[ServiceMetrics] = None,
         monitor_mode: str = "sync",
         feed_capacity: int = DEFAULT_FEED_CAPACITY,
+        wal=None,
     ):
         if max_concurrent is not None and max_concurrent < 1:
             raise StoreError(
@@ -140,6 +158,9 @@ class TransactionService:
         self.monitor = monitor
         self.monitor_mode = monitor_mode
         self.metrics = metrics or ServiceMetrics()
+        self.wal = wal
+        if wal is not None and wal.metrics is None:
+            wal.metrics = self.metrics
         self.max_retries = max_retries
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
@@ -246,17 +267,33 @@ class TransactionService:
 
     def drain(self) -> None:
         """Wait until the pipelined feed has observed every submitted
-        commit (no-op in sync mode or without a monitor); re-raises a
-        captured observer error."""
+        commit and the write-ahead log has flushed every in-sequence
+        frame (no-ops for absent components); re-raises a captured
+        observer or I/O error."""
         if self._feed is not None:
             self._feed.flush()
+        if self.wal is not None:
+            self.wal.flush()
 
     def close(self) -> None:
-        """Shut the service down: drain and stop the pipelined feed
-        (re-raising any captured observer error).  Idempotent; no-op in
-        sync mode."""
+        """Shut the service down: drain and stop the pipelined feed and
+        the write-ahead log (re-raising any captured observer or I/O
+        error — the feed's error wins when both fail).  Idempotent;
+        no-op without attached components."""
+        feed_error: Optional[BaseException] = None
         if self._feed is not None:
-            self._feed.close()
+            try:
+                self._feed.close()
+            except BaseException as exc:
+                feed_error = exc
+        if self.wal is not None:
+            try:
+                self.wal.close()
+            except BaseException:
+                if feed_error is None:
+                    raise
+        if feed_error is not None:
+            raise feed_error
 
     def __enter__(self) -> "TransactionService":
         return self
@@ -354,21 +391,19 @@ class ServiceSession:
         commit order and the outcome carries the verdict.  In pipelined
         mode the record is handed to the feed right after the engine
         releases the commit mutex; verdicts land asynchronously in
-        ``service.violations`` (the outcome's ``violation`` is None)."""
+        ``service.violations`` (the outcome's ``violation`` is None).
+        With an attached write-ahead log the record is appended off the
+        engine lock (before the feed hand-off) — under a durable fsync
+        policy the call returns only once the record is on disk."""
         ctx = self._open_ctx()
         engine = self.service.engine
         feed = self.service._feed
+        wal = self.service.wal
         violation: Optional[Violation] = None
         monitor_error: Optional[BaseException] = None
         try:
             if feed is not None:
                 record = engine.commit(ctx)
-                try:
-                    feed.submit(record)
-                except Exception as exc:
-                    # Feed closed, or a prior observer error resurfacing
-                    # — the commit itself stands.
-                    monitor_error = exc
             else:
                 with engine.lock:
                     record = engine.commit(ctx)
@@ -377,6 +412,25 @@ class ServiceSession:
                     except Exception as exc:
                         # Monitor misuse must not leak the admission
                         # slot; the commit itself stands.
+                        monitor_error = exc
+            # Durability and the monitor feed run off the engine lock:
+            # concurrent committers deposit into the log's reorder
+            # buffer while earlier ones fsync (that is the group-commit
+            # batch), and the feed preserves commit order on its own.
+            if wal is not None:
+                try:
+                    wal.append(record)
+                except Exception as exc:
+                    # The in-memory commit stands; durability failed.
+                    if monitor_error is None:
+                        monitor_error = exc
+            if feed is not None:
+                try:
+                    feed.submit(record)
+                except Exception as exc:
+                    # Feed closed, or a prior observer error resurfacing
+                    # — the commit itself stands.
+                    if monitor_error is None:
                         monitor_error = exc
         except TransactionAborted:
             self._finish_aborted()

@@ -210,6 +210,101 @@ class TestServeBench:
         assert main(["serve-bench", "--window", "1"]) == 2
         assert "at least 2" in capsys.readouterr().err
 
+    def test_report_embeds_run_knobs(self, tmp_path):
+        # Regression: reports used to omit the knobs that shaped the
+        # run, making BENCH_service.json files ambiguous.
+        report_path = tmp_path / "metrics.json"
+        assert main(
+            [
+                "serve-bench",
+                "--engine", "SI",
+                "--workers", "2",
+                "--txns", "3",
+                "--seed", "7",
+                "--monitor-mode", "pipelined",
+                "--lock-mode", "striped",
+                "--json", str(report_path),
+            ]
+        ) == 0
+        report = json.loads(report_path.read_text())
+        assert report["monitor_mode"] == "pipelined"
+        assert report["lock_mode"] == "striped"
+        assert report["seed"] == 7
+        assert report["max_retries"] >= 0
+        assert report["wal"] is None
+
+
+class TestServeBenchWal:
+    def test_wal_dir_produces_recoverable_log(self, tmp_path, capsys):
+        wal_dir = str(tmp_path / "wal")
+        report_path = tmp_path / "metrics.json"
+        status = main(
+            [
+                "serve-bench",
+                "--engine", "SI",
+                "--workers", "2",
+                "--txns", "4",
+                "--seed", "1",
+                "--wal-dir", wal_dir,
+                "--fsync-policy", "none",
+                "--json", str(report_path),
+            ]
+        )
+        assert status == 0
+        assert "wal:" in capsys.readouterr().out
+        report = json.loads(report_path.read_text())
+        assert report["wal"] == {"dir": wal_dir, "fsync_policy": "none"}
+        engine_report = report["engines"]["SI"]
+        assert engine_report["wal"]["dir"] == wal_dir
+        assert engine_report["wal"]["appends"] == engine_report["committed"]
+
+        # The log replays and audits cleanly through the CLI verbs.
+        assert main(["replay", wal_dir]) == 0
+        out = capsys.readouterr().out
+        assert "recovered" in out
+        assert main(["audit-log", wal_dir]) == 0
+        assert "consistent" in capsys.readouterr().out
+
+    def test_engine_all_gets_per_engine_subdirs(self, tmp_path):
+        wal_dir = str(tmp_path / "wal")
+        status = main(
+            [
+                "serve-bench",
+                "--engine", "all",
+                "--workers", "2",
+                "--txns", "2",
+                "--wal-dir", wal_dir,
+                "--fsync-policy", "none",
+            ]
+        )
+        assert status == 0
+        import os
+
+        for key in ("SI", "SER", "PSI", "2PL"):
+            assert main(["replay", os.path.join(wal_dir, key)]) == 0
+
+    def test_replay_json_report(self, tmp_path, capsys):
+        wal_dir = str(tmp_path / "wal")
+        assert main(
+            ["serve-bench", "--engine", "SI", "--workers", "2",
+             "--txns", "3", "--wal-dir", wal_dir,
+             "--fsync-policy", "none"]
+        ) == 0
+        capsys.readouterr()
+        report_path = tmp_path / "replay.json"
+        assert main(["replay", wal_dir, "--json", str(report_path)]) == 0
+        report = json.loads(report_path.read_text())
+        assert report["records_recovered"] > 0
+        assert report["truncated"] is False
+        assert report["damage"] == []
+
+    def test_replay_missing_directory_exit_two(self, tmp_path, capsys):
+        assert main(["replay", str(tmp_path / "nope")]) == 2
+        assert "error" in capsys.readouterr().err.lower()
+
+    def test_audit_log_missing_directory_exit_two(self, tmp_path):
+        assert main(["audit-log", str(tmp_path / "nope")]) == 2
+
 
 class TestDemo:
     def test_list_cases(self, capsys):

@@ -12,6 +12,12 @@ to and including the first violation.
 Streams covered: randomised engine workloads, service-driven SmallBank
 and TPC-C commit streams, the anomaly catalog, and windowed monitors on
 all of the above shapes.
+
+A further axis rides on the same harness: histories that made a round
+trip through the write-ahead log must be indistinguishable from live
+ones — ``recover(wal).history() == service.history()`` and the offline
+streaming audit's verdict equals the live monitor's, across engines and
+monitor modes (:class:`TestWalRoundTripParity`).
 """
 
 import pytest
@@ -239,6 +245,90 @@ class TestPipelinedFeedParity:
         assert pipelined_violations == replay_violations
         assert sync.commit_count == service.monitor.commit_count
 
+class TestWalRoundTripParity:
+    """Round-trip property: for seeded service runs with a WAL attached,
+    the recovered history equals the live history and the incremental
+    streaming audit reproduces the live monitor's verdict — across all
+    engines and both monitor modes."""
+
+    ENGINE_KEYS = ("SI", "SER", "PSI", "2PL")
+
+    @staticmethod
+    def _engine_for(key, initial):
+        from repro.mvcc.locking import TwoPhaseLockingEngine
+
+        if key == "SER":
+            return SerializableEngine(initial), "SER"
+        if key == "PSI":
+            return PSIEngine(initial, auto_deliver=True), "PSI"
+        if key == "2PL":
+            return TwoPhaseLockingEngine(initial), "SER"
+        return SIEngine(initial), "SI"
+
+    @pytest.mark.parametrize("engine_key", ENGINE_KEYS)
+    @pytest.mark.parametrize("monitor_mode", ["sync", "pipelined"])
+    def test_recovered_history_and_audit_verdict_match_live(
+        self, tmp_path, engine_key, monitor_mode
+    ):
+        from repro.wal import WriteAheadLog, audit_log, recover
+
+        mix = MIXES["smallbank"]()
+        engine, model = self._engine_for(engine_key, dict(mix.initial))
+        wal = WriteAheadLog(
+            str(tmp_path / f"{engine_key}-{monitor_mode}"),
+            fsync_policy="none",
+            flush_interval=0.01,
+            meta={"engine": engine_key, "init": dict(mix.initial),
+                  "init_tid": engine.init_tid, "model": model},
+        )
+        service = TransactionService.certified(
+            engine, model=model, max_retries=200,
+            monitor_mode=monitor_mode, wal=wal,
+        )
+        LoadGenerator(
+            service, mix, workers=3, transactions_per_worker=8, seed=5
+        ).run()
+        service.drain()
+        service.close()
+
+        recovered = recover(wal.directory)
+        assert recovered.engine.history() == engine.history()
+        assert recovered.engine.committed == engine.committed
+
+        audit = audit_log(wal.directory, model=model)
+        assert audit.commits_observed == len(engine.committed)
+        assert [v.tid for v in audit.violations] == [
+            v.tid for v in service.violations
+        ]
+        assert audit.consistent == service.monitor.consistent
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_windowed_audit_matches_windowed_live(self, tmp_path, seed):
+        from repro.wal import WriteAheadLog, audit_log
+
+        mix = MIXES["smallbank"]()
+        engine = SIEngine(dict(mix.initial))
+        wal = WriteAheadLog(
+            str(tmp_path / f"w{seed}"), fsync_policy="none",
+            flush_interval=0.01,
+            meta={"engine": "SI", "init": dict(mix.initial),
+                  "init_tid": engine.init_tid, "model": "SI"},
+        )
+        service = TransactionService.certified(
+            engine, model="SI", window=12, max_retries=200, wal=wal,
+        )
+        LoadGenerator(
+            service, mix, workers=4, transactions_per_worker=6, seed=seed
+        ).run()
+        service.close()
+        audit = audit_log(wal.directory, window=12)
+        assert audit.commits_observed == len(engine.committed)
+        assert [v.tid for v in audit.violations] == [
+            v.tid for v in service.violations
+        ]
+
+
+class TestPipelinedServicesAgree:
     @pytest.mark.parametrize("window", [None, 12])
     def test_pipelined_and_sync_services_agree(self, window):
         """Two services over identically-seeded runs: identical commit

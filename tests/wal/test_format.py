@@ -1,0 +1,193 @@
+"""Frame codec tests: framing, CRC, and bit-identical payload round trips."""
+
+import pytest
+
+from repro.core.events import read as read_op, write as write_op
+from repro.io.json_format import FormatError
+from repro.mvcc.engine import CommitRecord
+from repro.wal.format import (
+    FRAME_HEADER,
+    MAX_FRAME_BYTES,
+    LogMeta,
+    commit_record_from_doc,
+    commit_record_to_payload,
+    encode_frame,
+    meta_from_doc,
+    meta_to_payload,
+    payload_to_doc,
+    scan_frames,
+    segment_index,
+    segment_name,
+)
+
+
+def make_record(ts=1, tid=None, values=(0, 1)):
+    return CommitRecord(
+        tid=tid or f"t{ts}",
+        session="client-1",
+        start_ts=ts - 1,
+        commit_ts=ts,
+        events=(read_op("x", values[0]), write_op("x", values[1])),
+        writes={"x": values[1]},
+        visible_tids=frozenset({"t_init"}),
+    )
+
+
+class TestSegmentNames:
+    def test_round_trip(self):
+        assert segment_index(segment_name(7)) == 7
+        assert segment_index(segment_name(12345678)) == 12345678
+
+    def test_lexicographic_is_numeric(self):
+        names = [segment_name(i) for i in (1, 2, 10, 99, 100)]
+        assert names == sorted(names)
+
+    @pytest.mark.parametrize("name", [
+        "wal-0000001.segx", "foo.seg", "wal-abc.seg", "wal-.seg", "other",
+    ])
+    def test_foreign_names_rejected(self, name):
+        assert segment_index(name) is None
+
+
+class TestFrames:
+    def test_empty_data_scans_clean(self):
+        payloads, damage, offset = scan_frames(b"")
+        assert payloads == [] and damage is None and offset == 0
+
+    def test_multiple_frames_round_trip(self):
+        data = b"".join(encode_frame(p) for p in (b"a", b"bb" * 100, b""))
+        payloads, damage, _ = scan_frames(data)
+        assert payloads == [b"a", b"bb" * 100, b""]
+        assert damage is None
+
+    def test_torn_header_detected(self):
+        data = encode_frame(b"ok") + b"\x01\x02\x03"
+        payloads, damage, offset = scan_frames(data)
+        assert payloads == [b"ok"]
+        assert "torn frame header" in damage
+        assert offset == len(encode_frame(b"ok"))
+
+    def test_truncated_payload_detected(self):
+        data = encode_frame(b"hello world")[:-4]
+        payloads, damage, offset = scan_frames(data)
+        assert payloads == []
+        assert "truncated frame payload" in damage
+        assert offset == 0
+
+    def test_crc_mismatch_detected(self):
+        data = bytearray(encode_frame(b"hello"))
+        data[-1] ^= 0xFF
+        payloads, damage, _ = scan_frames(bytes(data))
+        assert payloads == []
+        assert "CRC mismatch" in damage
+
+    def test_implausible_length_detected(self):
+        data = FRAME_HEADER.pack(MAX_FRAME_BYTES + 1, 0)
+        payloads, damage, _ = scan_frames(data)
+        assert payloads == []
+        assert "implausible frame length" in damage
+
+    def test_good_prefix_survives_bad_tail(self):
+        good = encode_frame(b"one") + encode_frame(b"two")
+        bad = bytearray(encode_frame(b"three"))
+        bad[len(bad) // 2] ^= 0x55
+        payloads, damage, offset = scan_frames(good + bytes(bad))
+        assert payloads == [b"one", b"two"]
+        assert damage is not None
+        assert offset == len(good)
+
+
+class TestCommitPayloads:
+    def test_bit_identical_round_trip(self):
+        record = make_record()
+        back = commit_record_from_doc(
+            payload_to_doc(commit_record_to_payload(record))
+        )
+        assert back == record
+        assert back.events == record.events
+        assert dict(back.writes) == dict(record.writes)
+        assert back.visible_tids == record.visible_tids
+
+    def test_tuple_values_survive(self):
+        # The service's value tagger writes (logical, seq) tuples; JSON
+        # alone would flatten them to lists.
+        record = CommitRecord(
+            tid="t1", session="s", start_ts=0, commit_ts=1,
+            events=(read_op("x", (5, 2)), write_op("x", (6, 3))),
+            writes={"x": (6, 3)},
+            visible_tids=frozenset(),
+        )
+        back = commit_record_from_doc(
+            payload_to_doc(commit_record_to_payload(record))
+        )
+        assert back == record
+        assert isinstance(back.writes["x"], tuple)
+        assert isinstance(back.events[0].value, tuple)
+
+    def test_nested_container_values_survive(self):
+        value = {"a": [1, (2, 3)], "b": (4, [5])}
+        record = CommitRecord(
+            tid="t1", session="s", start_ts=0, commit_ts=1,
+            events=(write_op("x", value),),
+            writes={"x": value},
+            visible_tids=frozenset({"t_init"}),
+        )
+        back = commit_record_from_doc(
+            payload_to_doc(commit_record_to_payload(record))
+        )
+        assert back.writes["x"] == value
+        assert isinstance(back.writes["x"]["b"], tuple)
+        assert isinstance(back.writes["x"]["a"][1], tuple)
+
+    def test_non_json_payload_rejected(self):
+        with pytest.raises(FormatError):
+            payload_to_doc(b"\xff\xfe not json")
+        with pytest.raises(FormatError):
+            payload_to_doc(b"[1, 2, 3]")  # no kind tag
+
+    def test_wrong_kind_rejected(self):
+        meta_doc = payload_to_doc(
+            meta_to_payload({"engine": "SI", "init": {"x": 0}}, 1, 1)
+        )
+        with pytest.raises(FormatError):
+            commit_record_from_doc(meta_doc)
+        commit_doc = payload_to_doc(
+            commit_record_to_payload(make_record())
+        )
+        with pytest.raises(FormatError):
+            meta_from_doc(commit_doc)
+
+    def test_malformed_commit_doc_rejected(self):
+        doc = payload_to_doc(commit_record_to_payload(make_record()))
+        del doc["events"]
+        with pytest.raises(FormatError):
+            commit_record_from_doc(doc)
+
+
+class TestMetaPayloads:
+    def test_round_trip(self):
+        meta = meta_from_doc(payload_to_doc(meta_to_payload(
+            {"engine": "PSI", "init": {"x": (0, 0), "y": 1},
+             "init_tid": "t_zero", "model": "PSI", "note": "hi"},
+            segment=3, first_ts=17,
+        )))
+        assert meta == LogMeta(
+            engine="PSI", init={"x": (0, 0), "y": 1}, init_tid="t_zero",
+            model="PSI", segment=3, first_ts=17,
+        )
+        assert meta.extra["note"] == "hi"
+        assert isinstance(meta.init["x"], tuple)
+
+    def test_defaults(self):
+        meta = meta_from_doc(payload_to_doc(
+            meta_to_payload({"init": {"x": 0}}, 1, 1)
+        ))
+        assert meta.engine is None
+        assert meta.model is None
+        assert meta.init_tid == "t_init"
+
+    def test_missing_init_rejected(self):
+        doc = payload_to_doc(meta_to_payload({"init": {"x": 0}}, 1, 1))
+        del doc["init"]
+        with pytest.raises(FormatError):
+            meta_from_doc(doc)

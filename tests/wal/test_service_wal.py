@@ -1,0 +1,150 @@
+"""End-to-end durability: service runs with a WAL attached recover to
+bit-identical state, and the offline audit matches the live monitor.
+
+These are the acceptance-criteria tests: seeded concurrent runs (tagged
+tuple values included), recovery equality on the full ``CommitRecord``
+level (not just tid equality), recovered engines that keep serving, and
+live-vs-offline verdict parity.
+"""
+
+import pytest
+
+from repro.mvcc import PSIEngine, SerializableEngine, SIEngine
+from repro.mvcc.locking import TwoPhaseLockingEngine
+from repro.mvcc.runtime import ReadOp, WriteOp
+from repro.service import MIXES, LoadGenerator, TransactionService
+from repro.wal import WriteAheadLog, audit_log, recover
+
+ENGINES = {
+    "SI": (SIEngine, "SI"),
+    "SER": (SerializableEngine, "SER"),
+    "PSI": (lambda initial: PSIEngine(initial, auto_deliver=True), "PSI"),
+    "2PL": (TwoPhaseLockingEngine, "SER"),
+}
+
+
+def run_with_wal(tmp_path, engine_key, monitor_mode="sync", workers=4,
+                 txns=8, seed=0, fsync_policy="none", **wal_kwargs):
+    """Drive a SmallBank load through a WAL-attached certified service."""
+    factory, model = ENGINES[engine_key]
+    mix = MIXES["smallbank"]()
+    engine = factory(dict(mix.initial))
+    wal = WriteAheadLog(
+        str(tmp_path / f"wal-{engine_key}-{monitor_mode}-{seed}"),
+        fsync_policy=fsync_policy,
+        flush_interval=0.01,
+        meta={"engine": engine_key, "init": dict(mix.initial),
+              "init_tid": engine.init_tid, "model": model},
+        **wal_kwargs,
+    )
+    service = TransactionService.certified(
+        engine, model=model, window=64, monitor_mode=monitor_mode,
+        max_retries=200, wal=wal,
+    )
+    LoadGenerator(
+        service, mix, workers=workers, transactions_per_worker=txns,
+        seed=seed,
+    ).run()
+    service.drain()
+    service.close()
+    return engine, wal, service, model
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("engine_key", sorted(ENGINES))
+    @pytest.mark.parametrize("monitor_mode", ["sync", "pipelined"])
+    def test_recovery_is_bit_identical(self, tmp_path, engine_key,
+                                       monitor_mode):
+        engine, wal, _, _ = run_with_wal(
+            tmp_path, engine_key, monitor_mode=monitor_mode
+        )
+        result = recover(wal.directory)
+        assert not result.truncated
+        assert result.records_recovered == len(engine.committed)
+        # Full structural equality of the commit records — tids,
+        # sessions, timestamps, events (with tagged tuple values),
+        # writes, and snapshot visibility sets.
+        assert result.engine.committed == engine.committed
+        assert result.engine.history() == engine.history()
+
+    def test_tagged_tuple_values_round_trip(self, tmp_path):
+        # SmallBank writes ValueTagger tuples; a JSON round trip that
+        # flattened them to lists would break this equality.
+        engine, wal, _, _ = run_with_wal(tmp_path, "SI")
+        tupled = [
+            record for record in engine.committed
+            if any(isinstance(v, tuple) for v in record.writes.values())
+        ]
+        assert tupled, "SmallBank must produce tagged tuple values"
+        recovered = recover(wal.directory).engine
+        for mine, theirs in zip(engine.committed, recovered.committed):
+            assert mine.writes == theirs.writes
+            for a, b in zip(mine.events, theirs.events):
+                assert type(a.value) is type(b.value)
+
+    def test_recovered_engine_keeps_serving(self, tmp_path):
+        engine, wal, _, _ = run_with_wal(tmp_path, "SI", workers=2, txns=5)
+        recovered = recover(wal.directory).engine
+        service = TransactionService(recovered)
+
+        def probe():
+            value = yield ReadOp("checking0")
+            yield WriteOp("checking0", value)
+
+        outcome = service.session().run(probe)
+        assert outcome.record.commit_ts == len(engine.committed) + 1
+        # Fresh tids never collide with recovered ones.
+        assert outcome.record.tid not in {
+            record.tid for record in engine.committed
+        }
+
+    def test_abstract_execution_reconstructs(self, tmp_path):
+        engine, wal, _, _ = run_with_wal(tmp_path, "SI", workers=2, txns=5)
+        recovered = recover(wal.directory).engine
+        execution = recovered.abstract_execution()
+        assert execution.history == engine.history()
+
+
+class TestAuditParity:
+    @pytest.mark.parametrize("engine_key", sorted(ENGINES))
+    def test_offline_audit_matches_live_monitor(self, tmp_path,
+                                                engine_key):
+        engine, wal, service, model = run_with_wal(tmp_path, engine_key)
+        audit = audit_log(wal.directory, model=model, window=64)
+        assert audit.commits_observed == len(engine.committed)
+        assert [v.tid for v in audit.violations] == [
+            v.tid for v in service.violations
+        ]
+        assert audit.consistent == (not service.violations)
+
+    def test_audit_model_defaults_from_meta(self, tmp_path):
+        _, wal, _, _ = run_with_wal(tmp_path, "2PL")
+        audit = audit_log(wal.directory)
+        assert audit.model == "SER"  # 2PL logs certify against SER
+
+    def test_audit_full_graph_matches_windowed_live(self, tmp_path):
+        engine, wal, service, _ = run_with_wal(tmp_path, "SI")
+        audit = audit_log(wal.directory)  # no window: full graph
+        assert audit.commits_observed == len(engine.committed)
+        assert audit.consistent
+
+
+class TestDurabilityMetrics:
+    def test_service_mirrors_wal_counters(self, tmp_path):
+        engine, wal, service, _ = run_with_wal(
+            tmp_path, "SI", fsync_policy="group"
+        )
+        snapshot = service.metrics.snapshot()
+        assert snapshot["wal"]["appends"] == len(engine.committed)
+        assert snapshot["wal"]["appends"] == wal.stats.appends
+        assert snapshot["wal"]["fsyncs"] == wal.stats.fsyncs > 0
+        assert snapshot["wal"]["bytes"] > 0
+        batch = snapshot["wal"]["batch_records"]
+        assert batch["count"] == wal.stats.flushes
+        assert batch["mean"] == pytest.approx(wal.stats.mean_batch)
+
+    def test_commit_waits_for_durability(self, tmp_path):
+        engine, wal, _, _ = run_with_wal(
+            tmp_path, "SI", workers=2, txns=5, fsync_policy="always"
+        )
+        assert wal.stats.fsyncs >= len(engine.committed)
