@@ -74,11 +74,18 @@ class RetryExhausted(ReproError):
     The retry discipline of Section 5 assumes an aborted transaction is
     resubmitted until it commits; a real service must bound that loop.
     :class:`~repro.service.TransactionService` raises this once the cap
-    is hit, carrying the attempt count and the last abort reason so the
-    caller can distinguish contention collapse from a logic error.
+    is hit, carrying the attempt count, the last abort reason, and the
+    per-attempt latencies so the caller can distinguish contention
+    collapse (many fast aborts) from a stalled resource (few slow ones).
     """
 
-    def __init__(self, session: str, attempts: int, last_reason: str):
+    def __init__(
+        self,
+        session: str,
+        attempts: int,
+        last_reason: str,
+        attempt_latencies=None,
+    ):
         super().__init__(
             f"transaction in session {session!r} aborted {attempts} "
             f"time(s), exceeding the retry cap; last reason: {last_reason}"
@@ -86,6 +93,97 @@ class RetryExhausted(ReproError):
         self.session = session
         self.attempts = attempts
         self.last_reason = last_reason
+        self.attempt_latencies = list(attempt_latencies or [])
+        """Wall-clock seconds each attempt took (begin to abort), in
+        attempt order; empty when the service did not track them."""
+
+
+class DeadlineExceeded(ReproError):
+    """A transaction's deadline elapsed before it could commit.
+
+    Bounded-retry is not enough under injected stalls: a transaction
+    can spend its whole life waiting (admission, backoff, a stalled
+    fsync) without ever burning its retry budget.  A per-transaction
+    deadline bounds wall-clock time instead; backoff sleeps are clamped
+    so the service never sleeps past a caller's deadline.
+    """
+
+    def __init__(
+        self,
+        session: str,
+        attempts: int,
+        elapsed_seconds: float,
+        last_reason: str = "deadline elapsed",
+        attempt_latencies=None,
+    ):
+        super().__init__(
+            f"transaction in session {session!r} exceeded its deadline "
+            f"after {elapsed_seconds * 1000:.1f} ms ({attempts} "
+            f"attempt(s)); last reason: {last_reason}"
+        )
+        self.session = session
+        self.attempts = attempts
+        self.elapsed_seconds = elapsed_seconds
+        self.last_reason = last_reason
+        self.attempt_latencies = list(attempt_latencies or [])
+
+
+class ServiceOverloaded(ReproError):
+    """The service's admission circuit breaker shed this transaction.
+
+    Raised instead of queueing when the health state machine is in the
+    ``shedding`` state (abort rate or WAL latency past the shedding
+    thresholds).  Shed work was never admitted: no engine transaction
+    was started, so the caller may retry later without an abort having
+    been recorded against it.
+    """
+
+    def __init__(self, session: str, state: str, detail: str = ""):
+        message = (
+            f"transaction in session {session!r} shed by the admission "
+            f"circuit breaker (service is {state})"
+        )
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+        self.session = session
+        self.state = state
+
+
+class ServiceReadOnly(ReproError):
+    """An update was refused because the service degraded to read-only.
+
+    With ``on_wal_failure="read_only"`` a poisoned write-ahead log stops
+    being able to make new commits durable, so the service keeps serving
+    snapshot reads but refuses transactions that write.  The underlying
+    WAL failure is chained as ``__cause__``.
+    """
+
+    def __init__(self, session: str, detail: str = ""):
+        message = (
+            f"update in session {session!r} refused: the service is in "
+            f"read-only degraded mode (write-ahead log failed)"
+        )
+        if detail:
+            message += f"; {detail}"
+        super().__init__(message)
+        self.session = session
+
+
+class FaultInjected(ReproError):
+    """An armed failpoint fired an ``abort``/``error`` action.
+
+    Raised out of :meth:`repro.faults.FaultInjector.fire` at the
+    instrumented site; layers translate it into their native failure
+    (the service aborts the transaction, the WAL poisons itself).
+    """
+
+    def __init__(self, point: str, detail: str = ""):
+        message = f"injected fault at failpoint {point!r}"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+        self.point = point
 
 
 class StoreError(ReproError):

@@ -9,6 +9,11 @@ Usage (also available as ``python -m repro``)::
     repro-si serve-bench [--engine SI|SER|PSI|2PL|all] [--mix smallbank|tpcc]
                           [--workers N] [--txns N] [--window W] [--json FILE]
                           [--wal-dir DIR] [--fsync-policy always|group|none]
+    repro-si chaos-bench [--engine SI|SER|PSI|2PL|all] [--mix ...]
+                          [--profile disk|contention|overload|mixed|poison]
+                          [--intensity X] [--fault-plan FILE] [--seed N]
+                          [--on-wal-failure fail_stop|read_only]
+                          [--recovery-window S] [--json FILE]
     repro-si replay WAL_DIR [--engine SI|SER|PSI|2PL] [--json FILE]
     repro-si audit-log WAL_DIR [--model SI|SER|PSI] [--window W]
                                [--checker incremental|rebuild] [--lenient]
@@ -20,15 +25,20 @@ requested model class (Theorems 8/9/21 through the membership oracle);
 analyses on read/write-set descriptions; ``serve-bench`` drives a
 transaction mix through the concurrent service with a windowed online
 monitor attached (optionally persisting every commit to a write-ahead
-log); ``replay`` recovers a write-ahead log directory into a fresh
-engine and reports the prefix-consistent state reached; ``audit-log``
+log); ``chaos-bench`` drives the same stack through a deterministic,
+seed-reproducible fault storm (:mod:`repro.faults`) and asserts the
+robustness invariants — no false monitor verdicts, durable prefix
+recoverable and audit-clean, bounded return to healthy; ``replay``
+recovers a write-ahead log directory into a fresh engine and reports
+the prefix-consistent state reached; ``audit-log``
 streams a log through the offline SI/SER/PSI certifiers; ``demo``
 reproduces a catalog anomaly.  See :mod:`repro.io.json_format` for the
 file formats and :mod:`repro.wal` for the log format.
 
 Exit status: 0 when the property holds (history allowed / chopping
-correct / application robust / serve-bench violation-free / log
-recovered / audit consistent), 1 when it does not, 2 on usage errors.
+correct / application robust / serve-bench violation-free / chaos
+invariants all held / log recovered / audit consistent), 1 when it
+does not, 2 on usage errors.
 """
 
 from __future__ import annotations
@@ -317,6 +327,86 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos_bench(args: argparse.Namespace) -> int:
+    import json as _json
+    import os as _os
+    import tempfile as _tempfile
+
+    from ..core.errors import ReproError
+    from ..faults import FaultPlan, preset
+    from ..faults.chaos import run_chaos
+
+    engines = SERVE_ENGINES if args.engine == "all" else (args.engine,)
+    try:
+        if args.fault_plan:
+            base_plan = FaultPlan.load(args.fault_plan)
+        else:
+            base_plan = preset(
+                args.profile, intensity=args.intensity, seed=args.seed
+            )
+    except (ReproError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = {
+        "mix": args.mix,
+        "workers": args.workers,
+        "transactions_per_worker": args.txns,
+        "calm_transactions_per_worker": args.calm_txns,
+        "plan": base_plan.to_doc(),
+        "fsync_policy": args.fsync_policy,
+        "on_wal_failure": args.on_wal_failure,
+        "recovery_window": args.recovery_window,
+        "seed": args.seed,
+        "engines": {},
+    }
+    failed = 0
+    scratch = None
+    if args.wal_dir is None:
+        scratch = _tempfile.TemporaryDirectory(prefix="chaos-wal-")
+    try:
+        root = args.wal_dir or scratch.name
+        for key in engines:
+            # Each engine gets a fresh plan (hit counters are state)
+            # and its own log directory.
+            plan = FaultPlan.from_doc(base_plan.to_doc())
+            wal_dir = (
+                root if len(engines) == 1 else _os.path.join(root, key)
+            )
+            try:
+                result = run_chaos(
+                    key,
+                    plan,
+                    wal_dir,
+                    mix_name=args.mix,
+                    workers=args.workers,
+                    txns_per_worker=args.txns,
+                    calm_txns_per_worker=args.calm_txns,
+                    seed=args.seed,
+                    fsync_policy=args.fsync_policy,
+                    on_wal_failure=args.on_wal_failure,
+                    recovery_window=args.recovery_window,
+                )
+            except ReproError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            report["engines"][key] = result.to_doc()
+            print(result.describe())
+            if not result.ok:
+                failed += 1
+    finally:
+        if scratch is not None:
+            scratch.cleanup()
+    if args.json:
+        with open(args.json, "w") as f:
+            _json.dump(report, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"chaos report written to {args.json}")
+    if failed:
+        print(f"{failed} engine(s) violated a chaos invariant")
+        return 1
+    return 0
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     import json as _json
 
@@ -552,6 +642,73 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the per-engine metrics report as JSON",
     )
     p_serve.set_defaults(func=_cmd_serve_bench)
+
+    p_chaos = sub.add_parser(
+        "chaos-bench",
+        help="run a transaction mix through a seeded fault storm and "
+        "assert the end-to-end robustness invariants",
+    )
+    p_chaos.add_argument(
+        "--engine", choices=list(SERVE_ENGINES) + ["all"], default="SI",
+        help="engine under chaos (2PL certifies against SER)",
+    )
+    p_chaos.add_argument(
+        "--mix", choices=["smallbank", "tpcc"], default="smallbank"
+    )
+    p_chaos.add_argument(
+        "--profile",
+        choices=["disk", "contention", "overload", "mixed", "poison"],
+        default="mixed",
+        help="preset fault-storm profile (ignored with --fault-plan)",
+    )
+    p_chaos.add_argument(
+        "--intensity", type=float, default=0.5,
+        help="storm intensity in [0, 1] scaling the preset's "
+             "probabilities and delays",
+    )
+    p_chaos.add_argument(
+        "--fault-plan", metavar="FILE", default=None,
+        help="load the fault plan from a JSON file instead of a preset",
+    )
+    p_chaos.add_argument(
+        "--workers", type=int, default=8, help="worker threads"
+    )
+    p_chaos.add_argument(
+        "--txns", type=int, default=40,
+        help="storm transactions submitted per worker",
+    )
+    p_chaos.add_argument(
+        "--calm-txns", type=int, default=10,
+        help="per-round transactions per worker while healing",
+    )
+    p_chaos.add_argument("--seed", type=int, default=0)
+    p_chaos.add_argument(
+        "--wal-dir", metavar="DIR", default=None,
+        help="write-ahead log directory (default: a temporary "
+             "directory, removed afterwards; per-engine "
+             "subdirectories with --engine all)",
+    )
+    p_chaos.add_argument(
+        "--fsync-policy", choices=["always", "group", "none"],
+        default="group",
+    )
+    p_chaos.add_argument(
+        "--on-wal-failure", choices=["fail_stop", "read_only"],
+        default="fail_stop",
+        help="degradation policy when the log is poisoned: surface "
+             "the failure per commit (fail_stop) or refuse updates "
+             "and keep serving reads (read_only)",
+    )
+    p_chaos.add_argument(
+        "--recovery-window", type=float, default=10.0,
+        help="seconds after the storm within which the service must "
+             "return to healthy",
+    )
+    p_chaos.add_argument(
+        "--json", metavar="FILE", default=None,
+        help="write the per-engine chaos report as JSON",
+    )
+    p_chaos.set_defaults(func=_cmd_chaos_bench)
 
     p_replay = sub.add_parser(
         "replay",

@@ -33,6 +33,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..core.errors import SnapshotTooOld, StoreError
 from ..core.events import Obj, Value
+from ..faults import FAULTS
 
 INIT_WRITER = "t_init"
 """Default tid of the initialisation writer."""
@@ -151,6 +152,8 @@ class MVStore:
                 version old enough for the snapshot (newer versions
                 exist, so the object is known but its history is gone).
         """
+        if FAULTS.armed:
+            FAULTS.fire("store.read", obj=obj, snapshot_ts=snapshot_ts)
         chain = self._chain(obj)
         ts = chain.ts
         index = bisect_right(ts, snapshot_ts, 0, len(ts))
@@ -212,6 +215,11 @@ class MVStore:
                 )
         for obj, value in writes.items():
             with self._stripe(obj):
+                if FAULTS.armed:
+                    # Deliberately inside the stripe lock: a delay here
+                    # models a descheduled writer pinning the stripe
+                    # against concurrent vacuums and installs.
+                    FAULTS.fire("store.install", obj=obj, writer=writer)
                 self._chains[obj].append(Version(value, commit_ts, writer))
 
     def vacuum(self, horizon_ts: int) -> int:

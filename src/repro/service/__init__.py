@@ -14,6 +14,7 @@ bounded, commit-sequence-ordered queue drained off the commit path
 """
 
 from .feed import DEFAULT_FEED_CAPACITY, FeedClosed, PipelinedMonitorFeed
+from .health import HEALTH_STATES, HealthPolicy, HealthTracker
 from .loadgen import (
     MIXES,
     SMALLBANK_READ_HEAVY,
@@ -28,6 +29,7 @@ from .loadgen import (
 from .metrics import LatencyHistogram, ServiceMetrics
 from .service import (
     MONITOR_MODES,
+    WAL_FAILURE_POLICIES,
     ServiceSession,
     TransactionService,
     TxOutcome,
@@ -36,6 +38,10 @@ from .service import (
 __all__ = [
     "DEFAULT_FEED_CAPACITY",
     "FeedClosed",
+    "HEALTH_STATES",
+    "HealthPolicy",
+    "HealthTracker",
+    "WAL_FAILURE_POLICIES",
     "LatencyHistogram",
     "LoadGenerator",
     "LoadResult",

@@ -44,6 +44,7 @@ import threading
 from typing import Callable, Dict, Optional
 
 from ..core.errors import StoreError
+from ..faults import FAULTS
 from ..mvcc.engine import CommitRecord
 
 DEFAULT_FEED_CAPACITY = 256
@@ -131,6 +132,12 @@ class PipelinedMonitorFeed:
                 self._next_seq += 1
                 if self._error is None:
                     try:
+                        if FAULTS.armed:
+                            # A stalled consumer: the bounded queue
+                            # backs up into committer backpressure.
+                            FAULTS.fire(
+                                "feed.observe", seq=record.commit_ts
+                            )
                         self._observe(record)
                     except BaseException as exc:  # surfaced to callers
                         with self._cond:

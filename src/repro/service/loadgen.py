@@ -23,7 +23,14 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..apps import smallbank, tpcc
-from ..core.errors import RetryExhausted, StoreError
+from ..core.errors import (
+    DeadlineExceeded,
+    RetryExhausted,
+    ServiceOverloaded,
+    ServiceReadOnly,
+    StoreError,
+)
+from ..wal.log import WalError
 from ..core.events import Obj, Value
 from ..mvcc.runtime import ReadOp, TxProgram, WriteOp
 from .service import TransactionService
@@ -303,6 +310,13 @@ class LoadResult:
         retry_exhausted: transactions abandoned past the retry cap.
         violations: monitor violations recorded during the run.
         elapsed_seconds: wall-clock duration of the run.
+        deadline_exceeded: transactions abandoned at their wall-clock
+            deadline (only under a service ``default_deadline``).
+        shed: transactions refused by the admission circuit breaker.
+        read_only_refused: updates refused in read-only degraded mode.
+        wal_errors: commits whose durability failed (``fail_stop``
+            surfaces the poisoned log to the committer; the in-memory
+            commit stands and is *not* in ``committed``).
     """
 
     mix: str
@@ -311,6 +325,10 @@ class LoadResult:
     retry_exhausted: int
     violations: int
     elapsed_seconds: float
+    deadline_exceeded: int = 0
+    shed: int = 0
+    read_only_refused: int = 0
+    wal_errors: int = 0
 
     @property
     def throughput(self) -> float:
@@ -372,6 +390,10 @@ class LoadGenerator:
         """Run the load to completion and summarise it."""
         committed = [0] * self.workers
         exhausted = [0] * self.workers
+        deadlined = [0] * self.workers
+        shed = [0] * self.workers
+        refused = [0] * self.workers
+        wal_errors = [0] * self.workers
         errors: List[BaseException] = []
         barrier = threading.Barrier(self.workers + 1)
         deadline_holder: List[float] = []
@@ -392,6 +414,16 @@ class LoadGenerator:
                     committed[index] += 1
                 except RetryExhausted:
                     exhausted[index] += 1
+                except DeadlineExceeded:
+                    deadlined[index] += 1
+                except ServiceOverloaded:
+                    shed[index] += 1
+                except ServiceReadOnly:
+                    refused[index] += 1
+                except WalError:
+                    # fail_stop surfaces the poisoned log per commit;
+                    # under load that is a counted outcome, not a crash.
+                    wal_errors[index] += 1
                 except BaseException as exc:  # surface, don't swallow
                     errors.append(exc)
                     break
@@ -413,7 +445,14 @@ class LoadGenerator:
             raise errors[0]
         # With a pipelined monitor, verdicts trail the commits; wait for
         # the feed so the violation count below is complete.
-        self.service.drain()
+        try:
+            self.service.drain()
+        except WalError:
+            # A poisoned log discovered only at drain (fsync_policy
+            # "none" acks before I/O): count it rather than lose the
+            # whole run's numbers.
+            if sum(wal_errors) == 0:
+                wal_errors[0] += 1
         return LoadResult(
             mix=self.mix.name,
             workers=self.workers,
@@ -421,4 +460,8 @@ class LoadGenerator:
             retry_exhausted=sum(exhausted),
             violations=len(self.service.violations),
             elapsed_seconds=elapsed,
+            deadline_exceeded=sum(deadlined),
+            shed=sum(shed),
+            read_only_refused=sum(refused),
+            wal_errors=sum(wal_errors),
         )

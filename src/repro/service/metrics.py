@@ -96,6 +96,9 @@ class ServiceMetrics:
         self.aborts = 0
         self.retries = 0
         self.retry_exhausted = 0
+        self.deadline_exceeded = 0
+        self.shed = 0
+        self.read_only_refused = 0
         self.violations = 0
         self.in_flight = 0
         self.admission_waiting = 0
@@ -106,6 +109,8 @@ class ServiceMetrics:
         self.wal_flushes = 0
         self.wal_fsyncs = 0
         self.wal_bytes = 0
+        self.wal_failures = 0
+        self.wal_append_latency = LatencyHistogram()
         # Batch sizes are small integers, so reuse the histogram's
         # fixed-bound machinery with power-of-two record-count bounds.
         self.wal_batch = LatencyHistogram(
@@ -148,6 +153,25 @@ class ServiceMetrics:
         with self._lock:
             self.retry_exhausted += 1
 
+    def record_deadline_exceeded(self) -> None:
+        """A transaction's wall-clock deadline elapsed before commit
+        (counted separately from conflict aborts: the attempts that led
+        here were already counted as aborts, this is the give-up)."""
+        with self._lock:
+            self.deadline_exceeded += 1
+
+    def record_shed(self) -> None:
+        """The admission circuit breaker refused a transaction (no
+        engine transaction was started, so no abort is counted)."""
+        with self._lock:
+            self.shed += 1
+
+    def record_read_only_refusal(self) -> None:
+        """An update was refused because the service is in read-only
+        degraded mode after a write-ahead-log failure."""
+        with self._lock:
+            self.read_only_refused += 1
+
     def record_violation(self) -> None:
         """The attached monitor flagged a consistency violation."""
         with self._lock:
@@ -158,6 +182,19 @@ class ServiceMetrics:
         with self._lock:
             self.wal_appends += 1
             self.wal_bytes += nbytes
+
+    def record_wal_append_latency(self, seconds: float) -> None:
+        """End-to-end latency of one durable append as seen by the
+        committer (deposit + group-commit wait); the health tracker's
+        WAL-latency gauge feeds from the same measurement."""
+        self.wal_append_latency.record(seconds)
+
+    def record_wal_failure(self) -> None:
+        """The write-ahead log raised from an append (poisoned or
+        closed); the service's degradation policy decides what happens
+        next, this just makes the failure visible."""
+        with self._lock:
+            self.wal_failures += 1
 
     def record_wal_flush(self, batch_size: int, fsyncs: int) -> None:
         """One flusher batch written (``fsyncs`` syncs issued for it)."""
@@ -197,6 +234,9 @@ class ServiceMetrics:
                 "aborts": self.aborts,
                 "retries": self.retries,
                 "retry_exhausted": self.retry_exhausted,
+                "deadline_exceeded": self.deadline_exceeded,
+                "shed": self.shed,
+                "read_only_refused": self.read_only_refused,
                 "violations": self.violations,
             }
             gauges = {
@@ -210,14 +250,20 @@ class ServiceMetrics:
                 "flushes": self.wal_flushes,
                 "fsyncs": self.wal_fsyncs,
                 "bytes": self.wal_bytes,
+                "failures": self.wal_failures,
             }
         batch = self.wal_batch.snapshot()
+        append_latency = self.wal_append_latency.snapshot()
         return {
             "counters": counters,
             "gauges": gauges,
             "abort_rate": self.abort_rate,
             "latency_seconds": self.txn_latency.snapshot(),
-            "wal": {**wal, "batch_records": batch},
+            "wal": {
+                **wal,
+                "batch_records": batch,
+                "append_latency_seconds": append_latency,
+            },
         }
 
     def to_json(self, indent: Optional[int] = 2) -> str:

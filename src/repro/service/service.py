@@ -59,21 +59,38 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from ..core.errors import (
+    DeadlineExceeded,
+    FaultInjected,
     RetryExhausted,
+    ServiceOverloaded,
+    ServiceReadOnly,
     StoreError,
     TransactionAborted,
 )
 from ..core.events import Obj, Value
+from ..faults import FAULTS
 from ..monitor.online import ConsistencyMonitor, Violation
 from ..mvcc.engine import BaseEngine, CommitRecord, TxContext
 from ..mvcc.runtime import ReadOp, TxProgram, WriteOp
 from .feed import DEFAULT_FEED_CAPACITY, PipelinedMonitorFeed
+from .health import HealthPolicy, HealthTracker
 from .metrics import ServiceMetrics
 
 MONITOR_MODES = ("sync", "pipelined")
 """How an attached monitor is fed: inside the commit critical section
 (``sync`` — certification) or through the bounded asynchronous feed
 (``pipelined`` — observe-only)."""
+
+WAL_FAILURE_POLICIES = ("fail_stop", "read_only")
+"""What a write-ahead-log failure does to the service: ``fail_stop``
+(every subsequent commit surfaces the poisoned log's chained error) or
+``read_only`` (reads keep serving, updates are refused with
+:class:`ServiceReadOnly`)."""
+
+
+class _AdmissionTimeout(StoreError):
+    """Internal: the admission wait outlived the caller's deadline
+    (translated into :class:`DeadlineExceeded` by the session)."""
 
 
 @dataclass(frozen=True)
@@ -127,6 +144,21 @@ class TransactionService:
             must be one past the engine's last commit timestamp (1 for
             a fresh engine); the service adopts it — :meth:`drain`
             flushes it and :meth:`close` closes it.
+        default_deadline: per-transaction wall-clock budget in seconds
+            applied by :meth:`ServiceSession.run` when the caller gives
+            none (``None`` = unbounded).  Backoff sleeps and admission
+            waits never extend past a deadline; on expiry the session
+            raises :class:`DeadlineExceeded`.
+        health_policy: thresholds/timing for the health state machine
+            (:class:`~repro.service.health.HealthPolicy`).  The tracker
+            always runs; only a policy with ``enforce=True`` turns the
+            ``shedding`` state into an admission circuit breaker.
+        on_wal_failure: one of :data:`WAL_FAILURE_POLICIES` —
+            ``"fail_stop"`` (default: the poisoned log's error, with
+            its root cause chained, is raised to this and every later
+            committer) or ``"read_only"`` (the failed append is
+            absorbed, the service degrades to read-only: snapshot reads
+            keep serving, updates raise :class:`ServiceReadOnly`).
     """
 
     def __init__(
@@ -142,6 +174,9 @@ class TransactionService:
         monitor_mode: str = "sync",
         feed_capacity: int = DEFAULT_FEED_CAPACITY,
         wal=None,
+        default_deadline: Optional[float] = None,
+        health_policy: Optional[HealthPolicy] = None,
+        on_wal_failure: str = "fail_stop",
     ):
         if max_concurrent is not None and max_concurrent < 1:
             raise StoreError(
@@ -154,11 +189,28 @@ class TransactionService:
                 f"unknown monitor_mode {monitor_mode!r}; expected one of "
                 f"{MONITOR_MODES}"
             )
+        if on_wal_failure not in WAL_FAILURE_POLICIES:
+            raise StoreError(
+                f"unknown on_wal_failure {on_wal_failure!r}; expected "
+                f"one of {WAL_FAILURE_POLICIES}"
+            )
+        if default_deadline is not None and default_deadline <= 0:
+            raise StoreError(
+                f"default_deadline must be positive, got {default_deadline}"
+            )
         self.engine = engine
         self.monitor = monitor
         self.monitor_mode = monitor_mode
         self.metrics = metrics or ServiceMetrics()
+        self.health = HealthTracker(health_policy)
         self.wal = wal
+        self.on_wal_failure = on_wal_failure
+        self.default_deadline = default_deadline
+        self.read_only = False
+        """True once a WAL failure degraded the service to read-only
+        (``on_wal_failure="read_only"`` only)."""
+        self.wal_error: Optional[BaseException] = None
+        """The first WAL failure absorbed or surfaced, if any."""
         if wal is not None and wal.metrics is None:
             wal.metrics = self.metrics
         self.max_retries = max_retries
@@ -251,15 +303,54 @@ class TransactionService:
     # Internals shared with the session handles
     # ------------------------------------------------------------------
 
-    def _admit(self) -> None:
+    def _admit(
+        self,
+        deadline_ts: Optional[float] = None,
+        session: str = "",
+    ) -> None:
+        """Admission: circuit breaker first, then the (metered)
+        semaphore wait, bounded by the caller's deadline when one is
+        set.  Raises :class:`ServiceOverloaded` when shedding and
+        :class:`_AdmissionTimeout` when the deadline elapses first."""
+        if not self.health.allow_admission():
+            self.metrics.record_shed()
+            raise ServiceOverloaded(session, self.health.state)
+        if FAULTS.armed:
+            FAULTS.fire("service.admit", session=session)
         if self._admission is None:
             return
-        if not self._admission.acquire(blocking=False):
-            self.metrics.enter_admission_queue()
-            try:
+        if self._admission.acquire(blocking=False):
+            return
+        self.metrics.enter_admission_queue()
+        try:
+            if deadline_ts is None:
                 self._admission.acquire()
-            finally:
-                self.metrics.leave_admission_queue()
+                return
+            remaining = deadline_ts - time.perf_counter()
+            if remaining <= 0 or not self._admission.acquire(
+                timeout=remaining
+            ):
+                raise _AdmissionTimeout(
+                    f"session {session!r} timed out waiting for an "
+                    f"admission slot"
+                )
+        finally:
+            self.metrics.leave_admission_queue()
+
+    def _note_wal_failure(self, error: BaseException) -> bool:
+        """Record a failed WAL append and apply the degradation
+        policy.  Returns True when the error was absorbed (read-only
+        mode) and False when the committer should surface it
+        (fail-stop)."""
+        self.metrics.record_wal_failure()
+        self.health.note_wal_failure()
+        with self._lock:
+            if self.wal_error is None:
+                self.wal_error = error
+            if self.on_wal_failure == "read_only":
+                self.read_only = True
+                return True
+        return False
 
     def _release(self) -> None:
         if self._admission is not None:
@@ -272,7 +363,7 @@ class TransactionService:
         observer or I/O error."""
         if self._feed is not None:
             self._feed.flush()
-        if self.wal is not None:
+        if self.wal is not None and not self.read_only:
             self.wal.flush()
 
     def close(self) -> None:
@@ -290,7 +381,10 @@ class TransactionService:
             try:
                 self.wal.close()
             except BaseException:
-                if feed_error is None:
+                # In read-only degraded mode the log's poisoning was
+                # already absorbed and surfaced through the health
+                # state; closing it again must not re-raise.
+                if not self.read_only and feed_error is None:
                     raise
         if feed_error is not None:
             raise feed_error
@@ -343,6 +437,10 @@ class ServiceSession:
         self._ctx: Optional[TxContext] = None
         self._txn_started: Optional[float] = None
         self._attempts = 0
+        self._attempt_started: Optional[float] = None
+        self._attempt_latencies: List[float] = []
+        self._deadline_ts: Optional[float] = None
+        self._deadline_anchor: Optional[float] = None
         self._rng = random.Random(f"{service.backoff_seed}:{name}")
 
     # ------------------------------------------------------------------
@@ -350,12 +448,35 @@ class ServiceSession:
     # ------------------------------------------------------------------
 
     def begin(self) -> TxContext:
-        """Admit and start a transaction (attempt)."""
+        """Admit and start a transaction (attempt).
+
+        Raises :class:`ServiceOverloaded` when the admission circuit
+        breaker is shedding and :class:`DeadlineExceeded` when a
+        :meth:`run` deadline elapses while queueing for admission.
+        """
         if self._ctx is not None:
             raise StoreError(
                 f"session {self.name!r} already has an open transaction"
             )
-        self.service._admit()
+        try:
+            self.service._admit(
+                deadline_ts=self._deadline_ts, session=self.name
+            )
+        except _AdmissionTimeout:
+            self.service.metrics.record_deadline_exceeded()
+            attempts = self._attempts
+            latencies = list(self._attempt_latencies)
+            elapsed = time.perf_counter() - (
+                self._deadline_anchor or time.perf_counter()
+            )
+            self._reset_logical()
+            raise DeadlineExceeded(
+                self.name,
+                attempts,
+                elapsed,
+                "timed out waiting for admission",
+                latencies,
+            ) from None
         try:
             ctx = self.service.engine.begin(self.name)
         except BaseException:
@@ -364,6 +485,7 @@ class ServiceSession:
         self._ctx = ctx
         if self._txn_started is None:
             self._txn_started = time.perf_counter()
+        self._attempt_started = time.perf_counter()
         self._attempts += 1
         self.service.metrics.record_begin()
         return ctx
@@ -377,13 +499,35 @@ class ServiceSession:
             raise
 
     def write(self, obj: Obj, value: Value) -> None:
-        """Write ``value`` to ``obj`` in the open transaction."""
+        """Write ``value`` to ``obj`` in the open transaction.
+
+        In read-only degraded mode (``on_wal_failure="read_only"``
+        after a WAL failure) the transaction is aborted and
+        :class:`ServiceReadOnly` raised — updates cannot be made
+        durable, so they are refused before touching the engine.
+        """
+        if self.service.read_only:
+            self._refuse_read_only()
         try:
             self.service.engine.write(self._open_ctx(), obj, value)
         except TransactionAborted:
             # Pessimistic engines abort at the operation (no-wait 2PL).
             self._finish_aborted()
             raise
+
+    def _refuse_read_only(self) -> None:
+        """Abort the open transaction and raise
+        :class:`ServiceReadOnly` (chained to the WAL's root failure)."""
+        ctx = self._open_ctx()
+        self.service.engine.abort(ctx, "service is read-only")
+        # An administrative refusal, not a conflict: it must not feed
+        # the abort-rate gauge (the WAL-failure floor already keeps the
+        # state at degraded; refusals driving it to shedding would shut
+        # off the reads the policy exists to keep serving).
+        self._finish_aborted(note_health=False)
+        self._reset_logical()
+        self.service.metrics.record_read_only_refusal()
+        raise ServiceReadOnly(self.name) from self.service.wal_error
 
     def commit(self) -> TxOutcome:
         """Commit.  In sync mode the attached monitor certifies the
@@ -396,11 +540,26 @@ class ServiceSession:
         engine lock (before the feed hand-off) — under a durable fsync
         policy the call returns only once the record is on disk."""
         ctx = self._open_ctx()
+        if self.service.read_only and ctx.write_buffer:
+            self._refuse_read_only()
         engine = self.service.engine
         feed = self.service._feed
         wal = self.service.wal
         violation: Optional[Violation] = None
         monitor_error: Optional[BaseException] = None
+        if FAULTS.armed:
+            try:
+                FAULTS.fire(
+                    "service.commit", tid=ctx.tid, session=self.name
+                )
+            except FaultInjected as exc:
+                # An injected validation storm: abort exactly like an
+                # engine conflict so the retry discipline takes over.
+                engine.abort(ctx, f"injected fault at {exc.point}")
+                self._finish_aborted()
+                raise TransactionAborted(
+                    ctx.tid, f"injected fault at {exc.point}"
+                ) from exc
         try:
             if feed is not None:
                 record = engine.commit(ctx)
@@ -417,13 +576,25 @@ class ServiceSession:
             # concurrent committers deposit into the log's reorder
             # buffer while earlier ones fsync (that is the group-commit
             # batch), and the feed preserves commit order on its own.
-            if wal is not None:
+            if wal is not None and not self.service.read_only:
+                append_started = time.perf_counter()
                 try:
                     wal.append(record)
                 except Exception as exc:
                     # The in-memory commit stands; durability failed.
-                    if monitor_error is None:
-                        monitor_error = exc
+                    # The policy decides whether the committer sees it
+                    # (fail_stop) or the service degrades (read_only).
+                    if not self.service._note_wal_failure(exc):
+                        if monitor_error is None:
+                            monitor_error = exc
+                else:
+                    append_latency = (
+                        time.perf_counter() - append_started
+                    )
+                    self.service.metrics.record_wal_append_latency(
+                        append_latency
+                    )
+                    self.service.health.note_wal_latency(append_latency)
             if feed is not None:
                 try:
                     feed.submit(record)
@@ -442,10 +613,10 @@ class ServiceSession:
             record=record, attempts=self._attempts, violation=violation
         )
         self._ctx = None
-        self._txn_started = None
-        self._attempts = 0
+        self._reset_logical()
         self.service._release()
         self.service.metrics.record_commit(latency)
+        self.service.health.note_attempt(aborted=False)
         if monitor_error is not None:
             raise monitor_error
         return outcome
@@ -454,38 +625,90 @@ class ServiceSession:
         """Deliberately abort the open transaction (no retry implied)."""
         self.service.engine.abort(self._open_ctx(), reason)
         self._finish_aborted()
-        self._txn_started = None
-        self._attempts = 0
+        self._reset_logical()
 
     # ------------------------------------------------------------------
     # The retry discipline
     # ------------------------------------------------------------------
 
     def run(
-        self, program: TxProgram, max_retries: Optional[int] = None
+        self,
+        program: TxProgram,
+        max_retries: Optional[int] = None,
+        deadline: Optional[float] = None,
     ) -> TxOutcome:
         """Execute ``program`` (a generator of Read/Write ops) as one
         transaction, resubmitting on abort with exponential backoff.
 
+        Args:
+            program: the transaction program.
+            max_retries: override the service's retry cap.
+            deadline: wall-clock budget in seconds for the whole
+                logical transaction (admission waits, every attempt,
+                every backoff sleep).  Defaults to the service's
+                ``default_deadline``.  Backoff never sleeps past the
+                deadline.
+
         Raises:
             RetryExhausted: after ``max_retries`` resubmissions (the
-                transaction is left aborted).
+                transaction is left aborted); carries the last abort
+                reason and the per-attempt latencies.
+            DeadlineExceeded: when the deadline elapses first.
+            ServiceOverloaded: when the admission circuit breaker is
+                shedding (the transaction was never admitted).
+            ServiceReadOnly: when the service degraded to read-only
+                and the program writes.
         """
         cap = self.service.max_retries if max_retries is None else max_retries
-        while True:
-            try:
-                return self._attempt(program)
-            except TransactionAborted as exc:
-                if self._attempts > cap:
-                    attempts = self._attempts
-                    self._attempts = 0
-                    self._txn_started = None
-                    self.service.metrics.record_retry_exhausted()
-                    raise RetryExhausted(
-                        self.name, attempts, exc.reason
-                    ) from exc
-                self.service.metrics.record_retry()
-                self._backoff(self._attempts)
+        budget = (
+            deadline
+            if deadline is not None
+            else self.service.default_deadline
+        )
+        self._deadline_anchor = time.perf_counter()
+        self._deadline_ts = (
+            self._deadline_anchor + budget if budget is not None else None
+        )
+        try:
+            while True:
+                try:
+                    return self._attempt(program)
+                except TransactionAborted as exc:
+                    now = time.perf_counter()
+                    if (
+                        self._deadline_ts is not None
+                        and now >= self._deadline_ts
+                    ):
+                        attempts = self._attempts
+                        latencies = list(self._attempt_latencies)
+                        elapsed = now - self._deadline_anchor
+                        self._reset_logical()
+                        self.service.metrics.record_deadline_exceeded()
+                        raise DeadlineExceeded(
+                            self.name,
+                            attempts,
+                            elapsed,
+                            exc.reason,
+                            latencies,
+                        ) from exc
+                    if self._attempts > cap:
+                        attempts = self._attempts
+                        latencies = list(self._attempt_latencies)
+                        self._reset_logical()
+                        self.service.metrics.record_retry_exhausted()
+                        raise RetryExhausted(
+                            self.name, attempts, exc.reason, latencies
+                        ) from exc
+                    self.service.metrics.record_retry()
+                    self._backoff(self._attempts)
+                except (ServiceOverloaded, ServiceReadOnly):
+                    # Never admitted / refused: the logical transaction
+                    # is over (readonly refusal already reset).
+                    self._reset_logical()
+                    raise
+        finally:
+            self._deadline_ts = None
+            self._deadline_anchor = None
 
     def _attempt(self, program: TxProgram) -> TxOutcome:
         """One attempt: begin, drive the generator, commit."""
@@ -522,7 +745,16 @@ class ServiceSession:
         if base <= 0:
             return
         delay = min(self.service.backoff_cap, base * 2 ** (attempts - 1))
-        time.sleep(delay * (0.5 + self._rng.random() / 2))
+        delay *= 0.5 + self._rng.random() / 2
+        if self._deadline_ts is not None:
+            # Never sleep past the caller's deadline: the very next
+            # attempt (or the deadline check in run()) should happen
+            # the moment the budget runs out, not a backoff later.
+            delay = min(
+                delay, max(0.0, self._deadline_ts - time.perf_counter())
+            )
+        if delay > 0:
+            time.sleep(delay)
 
     # ------------------------------------------------------------------
     # Internals
@@ -535,9 +767,26 @@ class ServiceSession:
             )
         return self._ctx
 
-    def _finish_aborted(self) -> None:
+    def _finish_aborted(self, note_health: bool = True) -> None:
         """Release the slot after an abort; the logical transaction's
-        attempt count and start time survive for the retry."""
+        attempt count and start time survive for the retry.
+        ``note_health=False`` keeps administrative refusals out of the
+        health tracker's abort-rate gauge."""
+        if self._attempt_started is not None:
+            self._attempt_latencies.append(
+                time.perf_counter() - self._attempt_started
+            )
+            self._attempt_started = None
         self._ctx = None
         self.service._release()
         self.service.metrics.record_abort()
+        if note_health:
+            self.service.health.note_attempt(aborted=True)
+
+    def _reset_logical(self) -> None:
+        """Forget the logical transaction (called when it ends for any
+        reason: commit, give-up, refusal)."""
+        self._txn_started = None
+        self._attempts = 0
+        self._attempt_started = None
+        self._attempt_latencies = []

@@ -28,6 +28,7 @@ from .log import (
     DEFAULT_SEGMENT_BYTES,
     FSYNC_POLICIES,
     WalClosed,
+    WalPoisoned,
     WalError,
     WalStats,
     WriteAheadLog,
@@ -51,6 +52,7 @@ __all__ = [
     "DEFAULT_SEGMENT_BYTES",
     "FSYNC_POLICIES",
     "WalClosed",
+    "WalPoisoned",
     "WalError",
     "WalStats",
     "WriteAheadLog",

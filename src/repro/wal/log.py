@@ -40,10 +40,15 @@ it, and syncs once — so N concurrent committers share one ``fsync``:
 when no appender is pushing the flusher (relevant under ``"none"``,
 where nobody waits): the flusher wakes at least that often.
 
-Failure model.  An I/O error poisons the log: the error is re-raised to
-every waiting and subsequent ``append`` (the in-memory commit stands —
-the service layer surfaces the error without undoing the commit, the
-same contract as a monitor failure).
+Failure model.  An I/O error poisons the log: every waiting and
+subsequent ``append``/``flush``/``close`` raises a fresh
+:class:`WalPoisoned` chained to the original cause and carrying the
+first failed sequence number (the in-memory commit stands — the service
+layer surfaces the error without undoing the commit, the same contract
+as a monitor failure; or degrades to read-only, per its
+``on_wal_failure`` policy).  The ``wal.write`` and ``wal.fsync``
+failpoints (:mod:`repro.faults`) sit in the flusher so fault plans can
+inject exactly these failures deterministically.
 """
 
 from __future__ import annotations
@@ -55,6 +60,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple, Any
 
 from ..core.errors import StoreError
+from ..faults import FAULTS
 from ..mvcc.engine import CommitRecord
 from .format import (
     SEGMENT_MAGIC,
@@ -87,6 +93,48 @@ class WalError(StoreError):
 
 class WalClosed(WalError):
     """Append to a closed log."""
+
+
+class WalPoisoned(WalError):
+    """The log is poisoned and the original cause travels with every
+    raise.
+
+    The first failure (an I/O error from the flusher, an unencodable
+    record) poisons the log; every *subsequent* ``append``/``flush``/
+    ``close`` re-raises a fresh :class:`WalPoisoned` chained (via
+    ``__cause__``) to the root failure, so a committer that hits the
+    poisoned log minutes later still sees *why* and *where* it died —
+    not just "log is broken".
+
+    Attributes:
+        first_failed_seq: the commit sequence number whose durability
+            failed first (everything below it is on disk and
+            recoverable; it and everything after are not).
+        root: the original exception that poisoned the log.
+    """
+
+    def __init__(
+        self,
+        detail: str,
+        first_failed_seq: int,
+        root: Optional[BaseException],
+    ):
+        super().__init__(detail)
+        self.first_failed_seq = first_failed_seq
+        self.root = root
+        # Chain explicitly so even a bare `raise` (no `from`) of this
+        # instance renders the root failure in the traceback.
+        self.__cause__ = root
+
+
+class _BatchFailure(Exception):
+    """Internal: a write/fsync failed at ``seq`` for reason ``root``
+    (lets the flusher poison the log with the exact failed frame)."""
+
+    def __init__(self, seq: int, root: BaseException):
+        super().__init__(f"batch failure at #{seq}: {root}")
+        self.seq = seq
+        self.root = root
 
 
 @dataclass
@@ -247,13 +295,15 @@ class WriteAheadLog:
                 # its sequence number, so the whole log is poisoned.
                 with self._lock:
                     if self._error is None:
-                        self._error = WalError(
-                            f"cannot encode commit {record.tid}: {exc}"
+                        self._error = WalPoisoned(
+                            f"cannot encode commit {record.tid}: {exc}",
+                            first_failed_seq=record.commit_ts,
+                            root=exc,
                         )
                     self._io_cond.notify()
                     self._durable_event.set()
                     self._durable_cond.notify_all()
-                    raise self._error
+                    self._reraise_error()
             ts = record.commit_ts
             with self._lock:
                 self._check_open()
@@ -278,7 +328,7 @@ class WriteAheadLog:
             # wake concurrently instead of re-queueing on the lock.
             while self._durable_ts < ts:
                 if self._error is not None:
-                    raise self._error
+                    self._reraise_error()
                 if self._closed:
                     raise WalClosed(
                         f"log closed before commit #{ts} became durable"
@@ -288,7 +338,7 @@ class WriteAheadLog:
                     break
                 event.wait(self.flush_interval)
             if self._error is not None:
-                raise self._error
+                self._reraise_error()
         finally:
             with self._lock:
                 self._appenders -= 1
@@ -307,9 +357,24 @@ class WriteAheadLog:
 
     def _check_open(self) -> None:
         if self._error is not None:
-            raise self._error
+            self._reraise_error()
         if self._closed:
             raise WalClosed(f"write-ahead log {self.directory!r} is closed")
+
+    def _reraise_error(self) -> None:
+        """Raise the captured failure.  A poisoned log raises a *fresh*
+        :class:`WalPoisoned` every time, chained to the root cause and
+        carrying the first failed sequence number — so concurrent
+        raisers never share one exception's traceback and every caller
+        sees the original failure, however late it arrives."""
+        error = self._error
+        if isinstance(error, WalPoisoned):
+            raise WalPoisoned(
+                str(error),
+                first_failed_seq=error.first_failed_seq,
+                root=error.root,
+            )
+        raise error
 
     # ------------------------------------------------------------------
     # Flusher thread
@@ -359,8 +424,15 @@ class WriteAheadLog:
             with self._lock:
                 if error is not None:
                     if self._error is None:
-                        self._error = WalError(
-                            f"write-ahead log I/O failure: {error}"
+                        if isinstance(error, _BatchFailure):
+                            seq, root = error.seq, error.root
+                        else:
+                            seq, root = batch[0][0], error
+                        self._error = WalPoisoned(
+                            f"write-ahead log I/O failure at commit "
+                            f"#{seq}: {root}",
+                            first_failed_seq=seq,
+                            root=root,
                         )
                 else:
                     self._durable_ts = batch[-1][0]
@@ -379,25 +451,49 @@ class WriteAheadLog:
         Returns the number of fsyncs performed.  Flusher thread only."""
         fsyncs = 0
         for ts, frame in batch:
-            if (
-                self._segment_records > 0
-                and self._segment_bytes + len(frame) > self.segment_max_bytes
-            ):
-                self._rotate(next_ts=ts)
-            self._file.write(frame)
+            try:
+                if FAULTS.armed:
+                    # A dead disk: an io_error rule here poisons the
+                    # log exactly like a failed write(2).
+                    FAULTS.fire("wal.write", seq=ts)
+                if (
+                    self._segment_records > 0
+                    and self._segment_bytes + len(frame)
+                    > self.segment_max_bytes
+                ):
+                    self._rotate(next_ts=ts)
+                self._file.write(frame)
+            except BaseException as exc:
+                raise _BatchFailure(ts, exc) from exc
             self._segment_bytes += len(frame)
             self._segment_records += 1
             if self.fsync_policy == "always":
-                self._file.flush()
-                os.fsync(self._file.fileno())
+                try:
+                    self._fsync()
+                except BaseException as exc:
+                    raise _BatchFailure(ts, exc) from exc
                 fsyncs += 1
         if self.fsync_policy == "group":
-            self._file.flush()
-            os.fsync(self._file.fileno())
+            try:
+                self._fsync()
+            except BaseException as exc:
+                # The whole batch was written but none of it is known
+                # durable: the first frame is the first failure.
+                raise _BatchFailure(batch[0][0], exc) from exc
             fsyncs += 1
         elif self.fsync_policy == "none":
             self._file.flush()
         return fsyncs
+
+    def _fsync(self) -> None:
+        """Flush and sync the current segment (flusher thread only).
+        The ``wal.fsync`` failpoint sits in front so fault plans can
+        model a congested device — the stall is visible to every
+        committer waiting on this batch's durability."""
+        if FAULTS.armed:
+            FAULTS.fire("wal.fsync", segment=self._segment)
+        self._file.flush()
+        os.fsync(self._file.fileno())
 
     def _rotate(self, next_ts: int) -> None:
         """Close the current segment and open the next (flusher only)."""
@@ -475,7 +571,7 @@ class WriteAheadLog:
                 timeout=timeout,
             )
             if self._error is not None:
-                raise self._error
+                self._reraise_error()
             if not done:
                 raise WalError(
                     f"log flush timed out with "
@@ -495,7 +591,7 @@ class WriteAheadLog:
             self._durable_cond.notify_all()
         if already:
             if self._error is not None:
-                raise self._error
+                self._reraise_error()
             return
         self._flusher.join(timeout)
         if self._flusher.is_alive():
@@ -515,7 +611,7 @@ class WriteAheadLog:
                     f"#{self._next_seq}, holding {sorted(self._pending)}"
                 )
             if self._error is not None:
-                raise self._error
+                self._reraise_error()
 
     def __enter__(self) -> "WriteAheadLog":
         return self
